@@ -1,0 +1,96 @@
+//! Criterion benches for the three ablation studies (DESIGN.md):
+//! bank-selection functions, LBIC combining policy, and queue depths.
+//! Full-scale output comes from the `ablation_*` binaries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use hbdc_bench::runner::simulate;
+use hbdc_core::{CombinePolicy, PortConfig};
+use hbdc_cpu::{CpuConfig, Simulator};
+use hbdc_mem::{BankMapper, BankSelect, HierarchyConfig};
+use hbdc_trace::{ConflictAnalysis, StreamGenerator, StreamParams};
+use hbdc_workloads::{by_name, Scale};
+
+fn bench_bankmap(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_bankmap");
+    group.sample_size(10);
+    let refs: Vec<_> = StreamGenerator::new(StreamParams::default(), 9)
+        .take(50_000)
+        .collect();
+    for (name, select) in [
+        ("bit", BankSelect::BitSelect),
+        ("xor", BankSelect::XorFold),
+        ("rand", BankSelect::PseudoRandom),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut a = ConflictAnalysis::new(BankMapper::with_select(select, 8, 32), 8);
+                a.extend(refs.iter().copied());
+                a.finish();
+                black_box(a.conflict_rate())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_policy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_policy");
+    group.sample_size(10);
+    let bench = by_name("perl").expect("registered benchmark");
+    for (name, policy) in [
+        ("leading", CombinePolicy::LeadingRequest),
+        ("largest", CombinePolicy::LargestGroup),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                black_box(
+                    simulate(
+                        &bench,
+                        Scale::Test,
+                        PortConfig::Lbic {
+                            banks: 4,
+                            line_ports: 4,
+                            store_queue: 8,
+                            policy,
+                        },
+                    )
+                    .ipc(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_depth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_depth");
+    group.sample_size(10);
+    let bench = by_name("li").expect("registered benchmark");
+    let program = bench.build(Scale::Test);
+    for lsq in [16usize, 512] {
+        group.bench_function(format!("lsq-{lsq}"), |b| {
+            b.iter(|| {
+                let cfg = CpuConfig {
+                    lsq_size: lsq,
+                    ..CpuConfig::default()
+                };
+                black_box(
+                    Simulator::new(
+                        &program,
+                        cfg,
+                        HierarchyConfig::default(),
+                        PortConfig::lbic(4, 4),
+                    )
+                    .run()
+                    .ipc(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bankmap, bench_policy, bench_depth);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Criterion bench for the Figure 3 analyzer: consecutive-reference
+//! classification over synthetic and emulated streams. Full-scale output
+//! comes from `cargo run -p hbdc-bench --bin figure3 --release`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use hbdc_cpu::Emulator;
+use hbdc_trace::{ConsecutiveMapping, MemRef, StreamGenerator, StreamParams};
+use hbdc_workloads::{by_name, Scale};
+
+fn bench_figure3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure3");
+    group.sample_size(10);
+
+    // Pure analyzer throughput on a pre-generated stream.
+    let refs: Vec<MemRef> = StreamGenerator::new(StreamParams::default(), 42)
+        .take(100_000)
+        .collect();
+    group.bench_function("synthetic-100k", |b| {
+        b.iter(|| {
+            let mut f3 = ConsecutiveMapping::new(4, 32);
+            f3.extend(refs.iter().copied());
+            black_box(f3.segments())
+        })
+    });
+
+    // End-to-end: emulate a benchmark and classify its stream.
+    group.bench_function("gcc-emulated", |b| {
+        let bench = by_name("gcc").expect("registered benchmark");
+        let program = bench.build(Scale::Test);
+        b.iter(|| {
+            let mut emu = Emulator::new(&program);
+            let mut f3 = ConsecutiveMapping::new(4, 32);
+            while let Some(di) = emu.step() {
+                if let Some(addr) = di.addr {
+                    f3.record(if di.inst.is_store() {
+                        MemRef::store(addr)
+                    } else {
+                        MemRef::load(addr)
+                    });
+                }
+            }
+            black_box(f3.same_bank_fraction())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figure3);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion bench for the Table 3 machinery: full timing simulation of a
+//! benchmark analog under the conventional port models. Full-scale rows
+//! come from `cargo run -p hbdc-bench --bin table3 --release`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use hbdc_bench::runner::simulate;
+use hbdc_core::PortConfig;
+use hbdc_workloads::{by_name, Scale};
+
+fn bench_table3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3");
+    group.sample_size(10);
+    let bench = by_name("li").expect("registered benchmark");
+    let configs = [
+        ("ideal-1", PortConfig::Ideal { ports: 1 }),
+        ("ideal-4", PortConfig::Ideal { ports: 4 }),
+        ("repl-4", PortConfig::Replicated { ports: 4 }),
+        ("bank-4", PortConfig::banked(4)),
+    ];
+    for (name, port) in configs {
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(simulate(&bench, Scale::Test, port).ipc()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table3);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Criterion bench for the Table 4 machinery: timing simulation under the
+//! six LBIC configurations. Full-scale rows come from
+//! `cargo run -p hbdc-bench --bin table4 --release`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use hbdc_bench::runner::simulate;
+use hbdc_core::PortConfig;
+use hbdc_workloads::{by_name, Scale};
+
+fn bench_table4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table4");
+    group.sample_size(10);
+    let bench = by_name("swim").expect("registered benchmark");
+    for (m, n) in [(2u32, 2usize), (4, 2), (4, 4)] {
+        group.bench_function(format!("lbic-{m}x{n}"), |b| {
+            b.iter(|| black_box(simulate(&bench, Scale::Test, PortConfig::lbic(m, n)).ipc()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table4);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! **Ablation A — bank-selection functions** (paper §3.2).
+//!
+//! The paper uses simple bit selection and argues that fancier selection
+//! functions (refs \[10]\[11]) "may not be as critical as we thought since much
+//! of the loss of bandwidth due to same bank collisions map to the same
+//! cache line." This harness tests that claim two ways:
+//!
+//! 1. timing: IPC of an 8-bank cache under bit-select / XOR-fold /
+//!    pseudo-random selection;
+//! 2. trace: same-bank collision decomposition (same-line vs conflict)
+//!    under each mapper.
+//!
+//! Usage: `ablation_bankmap [--scale test|small|full]`
+
+use hbdc_bench::runner::{scale_from_args, simulate};
+use hbdc_core::PortConfig;
+use hbdc_cpu::Emulator;
+use hbdc_mem::{BankMapper, BankSelect};
+use hbdc_stats::{ipc, Table};
+use hbdc_trace::{ConflictAnalysis, MemRef};
+use hbdc_workloads::all;
+
+fn main() {
+    let scale = scale_from_args();
+    let selects = [
+        ("bit", BankSelect::BitSelect),
+        ("xor", BankSelect::XorFold),
+        ("rand", BankSelect::PseudoRandom),
+    ];
+
+    let mut table = Table::new(
+        [
+            "Program",
+            "IPC bit",
+            "IPC xor",
+            "IPC rand",
+            "conf bit",
+            "conf xor",
+            "conf rand",
+            "same-line bit",
+        ]
+        .map(String::from)
+        .to_vec(),
+    );
+    table.numeric();
+
+    for bench in all() {
+        let mut cells = vec![bench.name().to_string()];
+        for (_, select) in selects {
+            let r = simulate(&bench, scale, PortConfig::Banked { banks: 8, select });
+            cells.push(ipc(r.ipc()));
+            eprint!(".");
+        }
+        // Trace-level collision decomposition (window of 8 simultaneous
+        // references, 8 banks).
+        let mut analyses: Vec<ConflictAnalysis> = selects
+            .iter()
+            .map(|(_, s)| ConflictAnalysis::new(BankMapper::with_select(*s, 8, 32), 8))
+            .collect();
+        let mut emu = Emulator::new(&bench.build(scale));
+        while let Some(di) = emu.step() {
+            if di.inst.is_mem() {
+                let r = if di.inst.is_store() {
+                    MemRef::store(di.mem_addr())
+                } else {
+                    MemRef::load(di.mem_addr())
+                };
+                for a in &mut analyses {
+                    a.record(r);
+                }
+            }
+        }
+        for a in &mut analyses {
+            a.finish();
+        }
+        for a in &analyses {
+            cells.push(format!("{:.1}%", a.conflict_rate() * 100.0));
+        }
+        cells.push(format!("{:.1}%", analyses[0].same_line_rate() * 100.0));
+        table.row(cells);
+        eprintln!(" {}", bench.name());
+    }
+
+    println!("\nAblation A: bank-selection function, 8-bank cache\n");
+    println!("{table}");
+    println!(
+        "The paper's claim holds if IPC is broadly insensitive to the mapper while\n\
+         same-line collisions (recoverable only by combining) remain substantial."
+    );
+}

@@ -1,0 +1,69 @@
+//! **Ablation C — LSQ and store-queue depth** (paper §5.2).
+//!
+//! "An LBIC implementation requires a memory reorder buffer or a LSQ …
+//! performance of the scheme depends on the depth of the LSQ. Deeper LSQs
+//! will help to minimize possible performance degradation due to
+//! insufficient data requests for combining." This harness sweeps the LSQ
+//! depth for a 4x4 LBIC, and separately the per-bank store-queue depth.
+//!
+//! Usage: `ablation_depth [--scale test|small|full]`
+
+use hbdc_bench::runner::scale_from_args;
+use hbdc_core::{CombinePolicy, PortConfig};
+use hbdc_cpu::{CpuConfig, Simulator};
+use hbdc_mem::HierarchyConfig;
+use hbdc_stats::{ipc, Table};
+use hbdc_workloads::all;
+
+fn main() {
+    let scale = scale_from_args();
+    let lsq_depths = [16usize, 64, 128, 512];
+    let sq_depths = [1usize, 2, 8, 32];
+
+    let mut headers = vec!["Program".to_string()];
+    headers.extend(lsq_depths.iter().map(|d| format!("LSQ {d}")));
+    headers.extend(sq_depths.iter().map(|d| format!("SQ {d}")));
+    let mut table = Table::new(headers);
+    table.numeric();
+
+    for bench in all() {
+        let program = bench.build(scale);
+        let mut cells = vec![bench.name().to_string()];
+        for &depth in &lsq_depths {
+            let cfg = CpuConfig {
+                lsq_size: depth,
+                ..CpuConfig::default()
+            };
+            let r = Simulator::new(
+                &program,
+                cfg,
+                HierarchyConfig::default(),
+                PortConfig::lbic(4, 4),
+            )
+            .run();
+            cells.push(ipc(r.ipc()));
+            eprint!(".");
+        }
+        for &depth in &sq_depths {
+            let r = Simulator::new(
+                &program,
+                CpuConfig::default(),
+                HierarchyConfig::default(),
+                PortConfig::Lbic {
+                    banks: 4,
+                    line_ports: 4,
+                    store_queue: depth,
+                    policy: CombinePolicy::LeadingRequest,
+                },
+            )
+            .run();
+            cells.push(ipc(r.ipc()));
+            eprint!(".");
+        }
+        table.row(cells);
+        eprintln!(" {}", bench.name());
+    }
+
+    println!("\nAblation C: 4x4 LBIC sensitivity to LSQ depth and per-bank store-queue depth\n");
+    println!("{table}");
+}

@@ -1,0 +1,56 @@
+//! **Ablation B — LBIC combining policy** (paper §5.2).
+//!
+//! The paper's LBIC combines with the *leading request* ("fair and
+//! simple") and proposes, as an enhancement, "selecting LSQ logic that
+//! attempts to find the largest group of combinable ready accesses",
+//! noting its sorting logic "may be costly". This harness measures what
+//! that enhancement would actually buy on 4x2 and 4x4 LBICs.
+//!
+//! Usage: `ablation_policy [--scale test|small|full]`
+
+use hbdc_bench::runner::{scale_from_args, simulate};
+use hbdc_core::{CombinePolicy, PortConfig};
+use hbdc_stats::{ipc, Table};
+use hbdc_workloads::all;
+
+fn main() {
+    let scale = scale_from_args();
+    let configs = [
+        ("4x2 lead", 4u32, 2usize, CombinePolicy::LeadingRequest),
+        ("4x2 large", 4, 2, CombinePolicy::LargestGroup),
+        ("4x4 lead", 4, 4, CombinePolicy::LeadingRequest),
+        ("4x4 large", 4, 4, CombinePolicy::LargestGroup),
+    ];
+
+    let mut headers = vec!["Program".to_string()];
+    headers.extend(configs.iter().map(|(n, ..)| n.to_string()));
+    headers.push("4x4 gain".to_string());
+    let mut table = Table::new(headers);
+    table.numeric();
+
+    for bench in all() {
+        let mut cells = vec![bench.name().to_string()];
+        let mut vals = Vec::new();
+        for &(_, banks, line_ports, policy) in &configs {
+            let r = simulate(
+                &bench,
+                scale,
+                PortConfig::Lbic {
+                    banks,
+                    line_ports,
+                    store_queue: 8,
+                    policy,
+                },
+            );
+            vals.push(r.ipc());
+            cells.push(ipc(r.ipc()));
+            eprint!(".");
+        }
+        cells.push(format!("{:+.1}%", (vals[3] / vals[2] - 1.0) * 100.0));
+        table.row(cells);
+        eprintln!(" {}", bench.name());
+    }
+
+    println!("\nAblation B: LBIC combining policy (leading-request vs largest-group)\n");
+    println!("{table}");
+}

@@ -1,0 +1,48 @@
+//! Calibration report: measured vs paper Table 2 for every kernel, plus
+//! Figure 3 locality preview. Used while tuning the workload analogs.
+
+use hbdc_cpu::Emulator;
+use hbdc_trace::{ConsecutiveMapping, MemRef, TraceCacheSim};
+use hbdc_workloads::{all, Scale};
+
+fn main() {
+    println!(
+        "{:10} {:>9} {:>6}/{:<5} {:>5}/{:<4} {:>6}/{:<6} {:>6} {:>6}",
+        "bench", "instrs", "mem%", "(pap)", "s/l", "(pap)", "miss", "(pap)", "B-same", "B-diff"
+    );
+    for b in all() {
+        let p = b.build(Scale::Small);
+        let mut emu = Emulator::new(&p);
+        let (mut total, mut loads, mut stores) = (0u64, 0u64, 0u64);
+        let mut dl1 = TraceCacheSim::paper_l1();
+        let mut f3 = ConsecutiveMapping::new(4, 32);
+        while let Some(di) = emu.step() {
+            total += 1;
+            if di.inst.is_mem() {
+                let r = if di.inst.is_store() {
+                    stores += 1;
+                    MemRef::store(di.mem_addr())
+                } else {
+                    loads += 1;
+                    MemRef::load(di.mem_addr())
+                };
+                dl1.access(r);
+                f3.record(r);
+            }
+        }
+        let pr = b.paper();
+        println!(
+            "{:10} {:>9} {:>6.1}/{:<5.1} {:>5.2}/{:<4.2} {:>6.4}/{:<6.4} {:>6.3} {:>6.3}",
+            b.name(),
+            total,
+            (loads + stores) as f64 / total as f64 * 100.0,
+            pr.mem_pct,
+            stores as f64 / loads as f64,
+            pr.store_to_load,
+            dl1.stats().miss_rate(),
+            pr.miss_rate,
+            f3.same_line_fraction(),
+            f3.diff_line_fraction(),
+        );
+    }
+}

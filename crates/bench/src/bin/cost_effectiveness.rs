@@ -1,0 +1,71 @@
+//! **Extension — cost-effectiveness** (paper §1, §6, §8).
+//!
+//! The paper claims the LBIC "scales well toward ideal multiporting with
+//! an implementation cost close to traditional multi-banking" and that
+//! "a large 2-port replicated cache costs about twice the 2x2 LBIC in
+//! die area". This harness combines the measured suite-average IPC with
+//! the first-order area model (`hbdc_core::cost`) into IPC-per-area — the
+//! figure of merit behind the paper's conclusion.
+//!
+//! Usage: `cost_effectiveness [--scale test|small|full]`
+
+use hbdc_bench::runner::{scale_from_args, simulate};
+use hbdc_core::{cost, PortConfig};
+use hbdc_stats::summary::arithmetic_mean;
+use hbdc_stats::Table;
+use hbdc_workloads::all;
+
+fn main() {
+    let scale = scale_from_args();
+    let configs = [
+        PortConfig::Ideal { ports: 2 },
+        PortConfig::Ideal { ports: 4 },
+        PortConfig::Replicated { ports: 2 },
+        PortConfig::Replicated { ports: 4 },
+        PortConfig::banked(4),
+        PortConfig::banked(8),
+        PortConfig::lbic(2, 2),
+        PortConfig::lbic(4, 2),
+        PortConfig::lbic(4, 4),
+        PortConfig::lbic(8, 4),
+    ];
+
+    let mut table = Table::new(
+        [
+            "Config", "Area", "Peak B/W", "Mean IPC", "IPC/Area", "B/W/Area",
+        ]
+        .map(String::from)
+        .to_vec(),
+    );
+    table.numeric();
+
+    for config in configs {
+        let ipcs: Vec<f64> = all()
+            .iter()
+            .map(|b| {
+                eprint!(".");
+                simulate(b, scale, config).ipc()
+            })
+            .collect();
+        let mean_ipc = arithmetic_mean(&ipcs);
+        let area = cost::area(config);
+        let peak = cost::peak_bandwidth(config);
+        let label = config.build(32).label();
+        eprintln!(" {label}");
+        table.row(vec![
+            label,
+            format!("{area:.2}"),
+            peak.to_string(),
+            format!("{mean_ipc:.3}"),
+            format!("{:.3}", mean_ipc / area),
+            format!("{:.2}", peak as f64 / area),
+        ]);
+    }
+
+    println!("\nCost-effectiveness: mean IPC and peak bandwidth per unit die area\n");
+    println!("{table}");
+    println!(
+        "Calibration quote (paper §6): Repl-2 area / LBIC-2x2 area = {:.2} (paper: ~2).",
+        cost::area(PortConfig::Replicated { ports: 2 }) / cost::area(PortConfig::lbic(2, 2))
+    );
+}

@@ -1,0 +1,93 @@
+//! **Extension — front-end sensitivity** (paper §2.1–§2.2).
+//!
+//! The paper runs a perfect front end so the data cache is the only
+//! bottleneck, while noting that real machines speculate and that IPC
+//! "fails to expose the data resource requirements" of imperfect fetch.
+//! This harness re-runs the headline comparison (True-4 vs Bank-4 vs
+//! LBIC-4x4) under real branch predictors to check that the paper's
+//! conclusions survive the relaxed assumption.
+//!
+//! Usage: `frontend_sensitivity [--scale test|small|full]`
+
+use hbdc_bench::runner::scale_from_args;
+use hbdc_core::PortConfig;
+use hbdc_cpu::{CpuConfig, FrontEnd, PredictorKind, Simulator};
+use hbdc_mem::HierarchyConfig;
+use hbdc_stats::{ipc, Table};
+use hbdc_workloads::all;
+
+fn main() {
+    let scale = scale_from_args();
+    let front_ends = [
+        ("perfect", FrontEnd::Perfect),
+        (
+            "gshare",
+            FrontEnd::Predicted {
+                kind: PredictorKind::Gshare {
+                    entries: 4096,
+                    history_bits: 12,
+                },
+                redirect_penalty: 3,
+            },
+        ),
+        (
+            "bimodal",
+            FrontEnd::Predicted {
+                kind: PredictorKind::Bimodal { entries: 2048 },
+                redirect_penalty: 3,
+            },
+        ),
+    ];
+    let ports = [
+        ("True-4", PortConfig::Ideal { ports: 4 }),
+        ("Bank-4", PortConfig::banked(4)),
+        ("LBIC-4x4", PortConfig::lbic(4, 4)),
+    ];
+
+    let mut headers = vec!["Program".to_string()];
+    for (fe, _) in &front_ends {
+        for (p, _) in &ports {
+            headers.push(format!("{p}/{fe}"));
+        }
+    }
+    headers.push("mispredict %".to_string());
+    let mut table = Table::new(headers);
+    table.numeric();
+
+    for bench in all() {
+        let program = bench.build(scale);
+        let mut cells = vec![bench.name().to_string()];
+        let mut misp_rate = 0.0;
+        for (_, front_end) in front_ends {
+            for (_, port) in ports {
+                let mut sim = Simulator::new(
+                    &program,
+                    CpuConfig {
+                        front_end,
+                        ..CpuConfig::default()
+                    },
+                    HierarchyConfig::default(),
+                    port,
+                );
+                let r = sim.run();
+                cells.push(ipc(r.ipc()));
+                let (branches, mispredicts) = sim.branch_stats();
+                if branches > 0 {
+                    misp_rate = mispredicts as f64 / branches as f64;
+                }
+                eprint!(".");
+            }
+        }
+        cells.push(format!("{:.1}", misp_rate * 100.0));
+        table.row(cells);
+        eprintln!(" {}", bench.name());
+    }
+
+    println!("\nFront-end sensitivity: port-model comparison under real predictors\n");
+    println!("{table}");
+    println!(
+        "The LBIC's advantage over plain banking should persist under every\n\
+         front end; an imperfect front end compresses all IPCs toward the\n\
+         fetch bottleneck, exactly why the paper idealized it (§2.1)."
+    );
+}

@@ -1,0 +1,68 @@
+//! Regenerates the paper's **Table 2**: per-benchmark memory
+//! characteristics — dynamic instruction count, memory-instruction
+//! percentage, store-to-load ratio, and 32KB direct-mapped L1 miss rate —
+//! measured on this repository's workload analogs, with the paper's
+//! values alongside.
+//!
+//! Usage: `table2 [--scale test|small|full]`
+
+use hbdc_cpu::Emulator;
+use hbdc_stats::Table;
+use hbdc_trace::{MemRef, TraceCacheSim};
+use hbdc_workloads::all;
+
+use hbdc_bench::runner::scale_from_args;
+
+fn main() {
+    let scale = scale_from_args();
+    let mut table = Table::new(
+        [
+            "Program",
+            "Instr Count",
+            "Mem %",
+            "(paper)",
+            "S/L Ratio",
+            "(paper)",
+            "L1 Miss",
+            "(paper)",
+        ]
+        .map(String::from)
+        .to_vec(),
+    );
+    table.numeric();
+
+    for bench in all() {
+        let program = bench.build(scale);
+        let mut emu = Emulator::new(&program);
+        let mut dl1 = TraceCacheSim::paper_l1();
+        let (mut total, mut loads, mut stores) = (0u64, 0u64, 0u64);
+        while let Some(di) = emu.step() {
+            total += 1;
+            if di.inst.is_mem() {
+                let r = if di.inst.is_store() {
+                    stores += 1;
+                    MemRef::store(di.mem_addr())
+                } else {
+                    loads += 1;
+                    MemRef::load(di.mem_addr())
+                };
+                dl1.access(r);
+            }
+        }
+        let paper = bench.paper();
+        table.row(vec![
+            bench.name().to_string(),
+            total.to_string(),
+            format!("{:.1}", (loads + stores) as f64 / total as f64 * 100.0),
+            format!("{:.1}", paper.mem_pct),
+            format!("{:.2}", stores as f64 / loads as f64),
+            format!("{:.2}", paper.store_to_load),
+            format!("{:.4}", dl1.stats().miss_rate()),
+            format!("{:.4}", paper.miss_rate),
+        ]);
+        eprint!(".");
+    }
+    eprintln!();
+    println!("\nTable 2: benchmark memory characteristics (measured vs paper)\n");
+    println!("{table}");
+}

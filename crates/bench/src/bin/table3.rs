@@ -1,0 +1,81 @@
+//! Regenerates the paper's **Table 3**: IPC for ideal multi-porting
+//! (True), multi-porting by replication (Repl), and multi-banking (Bank)
+//! as ports grow 1 → 16, for all ten benchmarks plus suite averages.
+//!
+//! Usage: `table3 [--scale test|small|full] [--bench <name>]`
+
+use hbdc_bench::runner::{
+    benches_from_args, csv_from_args, scale_from_args, simulate_matrix, table3_columns,
+    SuiteAverages,
+};
+use hbdc_stats::{ipc, Table};
+use hbdc_workloads::Suite;
+
+fn main() {
+    let scale = scale_from_args();
+    let columns = table3_columns();
+    let benches = benches_from_args();
+
+    let mut headers = vec!["Program".to_string()];
+    headers.extend(columns.iter().map(|(name, _)| name.clone()));
+    let mut table = Table::new(headers);
+    table.numeric();
+
+    let matrix = simulate_matrix(&benches, scale, &columns);
+    let mut averages = SuiteAverages::new();
+    let mut printed_fp_rule = false;
+    for (bench, reports) in benches.iter().zip(&matrix) {
+        if bench.suite() == Suite::Fp && !printed_fp_rule {
+            table.rule();
+            printed_fp_rule = true;
+        }
+        let mut cells = vec![bench.name().to_string()];
+        let row: Vec<f64> = reports.iter().map(|r| r.ipc()).collect();
+        cells.extend(row.iter().map(|&v| ipc(v)));
+        averages.push(bench.suite(), row);
+        table.row(cells);
+    }
+
+    if benches.len() > 1 {
+        table.rule();
+        for (label, means) in [
+            ("SPECint Ave.", averages.int_means()),
+            ("SPECfp Ave.", averages.fp_means()),
+        ] {
+            if means.is_empty() {
+                continue;
+            }
+            let mut cells = vec![label.to_string()];
+            cells.extend(means.iter().map(|&v| ipc(v)));
+            table.row(cells);
+        }
+    }
+
+    println!("\nTable 3: IPC for True / Repl / Bank port models\n");
+    println!("{table}");
+    if csv_from_args() {
+        println!("CSV:\n{}", table.to_csv());
+    }
+
+    // The paper's §3.1 derived claims.
+    let int = averages.int_means();
+    let fp = averages.fp_means();
+    if !int.is_empty() && !fp.is_empty() {
+        println!("Derived (paper §3.1):");
+        println!(
+            "  True 1→2 ports: SPECint +{:.0}% (paper +89%), SPECfp +{:.0}% (paper +92%)",
+            (int[1] / int[0] - 1.0) * 100.0,
+            (fp[1] / fp[0] - 1.0) * 100.0,
+        );
+        println!(
+            "  True 2→4 ports: SPECint +{:.0}% (paper +41%), SPECfp +{:.0}% (paper +50%)",
+            (int[4] / int[1] - 1.0) * 100.0,
+            (fp[4] / fp[1] - 1.0) * 100.0,
+        );
+        println!(
+            "  True 8→16 ports: SPECint +{:.2}% (paper +0.12%), SPECfp +{:.1}% (paper ~4%)",
+            (int[10] / int[7] - 1.0) * 100.0,
+            (fp[10] / fp[7] - 1.0) * 100.0,
+        );
+    }
+}

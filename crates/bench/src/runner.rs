@@ -1,0 +1,258 @@
+//! Shared experiment machinery: simulation driving, scale parsing, and
+//! suite-average bookkeeping.
+
+use hbdc_core::PortConfig;
+use hbdc_cpu::{CpuConfig, SimReport, Simulator};
+use hbdc_mem::HierarchyConfig;
+use hbdc_stats::summary::arithmetic_mean;
+use hbdc_workloads::{Benchmark, Scale, Suite};
+
+/// Runs one benchmark under one port model and returns its report.
+///
+/// Uses the paper's Table 1 machine and memory hierarchy. The run length
+/// is whatever the kernel's `scale` dictates (kernels halt on their own).
+pub fn simulate(bench: &Benchmark, scale: Scale, port: PortConfig) -> SimReport {
+    let program = bench.build(scale);
+    Simulator::new(
+        &program,
+        CpuConfig::default(),
+        HierarchyConfig::default(),
+        port,
+    )
+    .run()
+}
+
+/// Parses a `--scale` CLI value.
+///
+/// # Errors
+///
+/// Returns the offending string if it is not `test`, `small`, or `full`.
+pub fn parse_scale(s: &str) -> Result<Scale, String> {
+    match s {
+        "test" => Ok(Scale::Test),
+        "small" => Ok(Scale::Small),
+        "full" => Ok(Scale::Full),
+        other => Err(format!("unknown scale `{other}` (use test|small|full)")),
+    }
+}
+
+/// Reads the scale from `argv` (`--scale <value>`), defaulting to `full`.
+///
+/// # Panics
+///
+/// Panics with a usage message on an invalid value — these are
+/// experiment binaries, where failing loudly beats guessing.
+pub fn scale_from_args() -> Scale {
+    let args: Vec<String> = std::env::args().collect();
+    match args.iter().position(|a| a == "--scale") {
+        Some(i) => {
+            let v = args.get(i + 1).map(String::as_str).unwrap_or("");
+            parse_scale(v).unwrap_or_else(|e| panic!("{e}"))
+        }
+        None => Scale::Full,
+    }
+}
+
+/// Accumulates per-suite IPC rows and produces the paper's "SPECint Ave."
+/// and "SPECfp Ave." rows.
+#[derive(Debug, Default, Clone)]
+pub struct SuiteAverages {
+    int: Vec<Vec<f64>>,
+    fp: Vec<Vec<f64>>,
+}
+
+impl SuiteAverages {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one benchmark's row of column values.
+    pub fn push(&mut self, suite: Suite, row: Vec<f64>) {
+        match suite {
+            Suite::Int => self.int.push(row),
+            Suite::Fp => self.fp.push(row),
+        }
+    }
+
+    fn column_means(rows: &[Vec<f64>]) -> Vec<f64> {
+        if rows.is_empty() {
+            return Vec::new();
+        }
+        let cols = rows[0].len();
+        (0..cols)
+            .map(|c| arithmetic_mean(&rows.iter().map(|r| r[c]).collect::<Vec<_>>()))
+            .collect()
+    }
+
+    /// Per-column means over the integer suite.
+    pub fn int_means(&self) -> Vec<f64> {
+        Self::column_means(&self.int)
+    }
+
+    /// Per-column means over the floating-point suite.
+    pub fn fp_means(&self) -> Vec<f64> {
+        Self::column_means(&self.fp)
+    }
+}
+
+/// Runs the full (benchmark x port-config) matrix across OS threads,
+/// returning reports in `[bench][config]` order.
+///
+/// Simulations are independent, so this is an embarrassingly parallel
+/// work queue; on an N-core machine the full-scale Table 3 matrix runs
+/// ~N times faster than the serial loop. Progress dots go to stderr.
+pub fn simulate_matrix(
+    benches: &[Benchmark],
+    scale: Scale,
+    configs: &[(String, PortConfig)],
+) -> Vec<Vec<SimReport>> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    let total = benches.len() * configs.len();
+    let next = AtomicUsize::new(0);
+    let results: Vec<Mutex<Option<SimReport>>> = (0..total).map(|_| Mutex::new(None)).collect();
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(total.max(1));
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= total {
+                    break;
+                }
+                let bench = &benches[i / configs.len()];
+                let (_, port) = &configs[i % configs.len()];
+                let report = simulate(bench, scale, *port);
+                *results[i].lock().expect("result slot poisoned") = Some(report);
+                eprint!(".");
+            });
+        }
+    });
+    eprintln!();
+
+    let mut out = Vec::with_capacity(benches.len());
+    let mut it = results.into_iter();
+    for _ in benches {
+        let row: Vec<SimReport> = (0..configs.len())
+            .map(|_| {
+                it.next()
+                    .expect("sized above")
+                    .into_inner()
+                    .expect("result slot poisoned")
+                    .expect("every slot filled")
+            })
+            .collect();
+        out.push(row);
+    }
+    out
+}
+
+/// Whether `--csv` was passed (binaries then print a CSV block after the
+/// human-readable table).
+pub fn csv_from_args() -> bool {
+    std::env::args().any(|a| a == "--csv")
+}
+
+/// The port-model columns of the paper's Table 3: the single-ported
+/// baseline ("~"), then True/Repl/Bank at 2, 4, 8, and 16 ports.
+pub fn table3_columns() -> Vec<(String, PortConfig)> {
+    let mut cols = vec![("~1".to_string(), PortConfig::Ideal { ports: 1 })];
+    for p in [2usize, 4, 8, 16] {
+        cols.push((format!("True-{p}"), PortConfig::Ideal { ports: p }));
+        cols.push((format!("Repl-{p}"), PortConfig::Replicated { ports: p }));
+        cols.push((format!("Bank-{p}"), PortConfig::banked(p as u32)));
+    }
+    cols
+}
+
+/// The six LBIC configurations of the paper's Table 4.
+pub fn table4_columns() -> Vec<(String, PortConfig)> {
+    [(2, 2), (2, 4), (4, 2), (4, 4), (8, 2), (8, 4)]
+        .into_iter()
+        .map(|(m, n)| (format!("{m}x{n}"), PortConfig::lbic(m, n)))
+        .collect()
+}
+
+/// Which benchmarks to run: all, or a `--bench <name>` subset.
+pub fn benches_from_args() -> Vec<Benchmark> {
+    let args: Vec<String> = std::env::args().collect();
+    match args.iter().position(|a| a == "--bench") {
+        Some(i) => {
+            let name = args.get(i + 1).map(String::as_str).unwrap_or("");
+            match hbdc_workloads::by_name(name) {
+                Some(b) => vec![b],
+                None => panic!("unknown benchmark `{name}`"),
+            }
+        }
+        None => hbdc_workloads::all(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hbdc_workloads::by_name;
+
+    #[test]
+    fn parse_scale_values() {
+        assert_eq!(parse_scale("test").unwrap(), Scale::Test);
+        assert_eq!(parse_scale("small").unwrap(), Scale::Small);
+        assert_eq!(parse_scale("full").unwrap(), Scale::Full);
+        assert!(parse_scale("huge").is_err());
+    }
+
+    #[test]
+    fn table3_has_thirteen_columns() {
+        let cols = table3_columns();
+        assert_eq!(cols.len(), 13);
+        assert_eq!(cols[0].0, "~1");
+        assert_eq!(cols[12].0, "Bank-16");
+    }
+
+    #[test]
+    fn table4_has_six_configs() {
+        let cols = table4_columns();
+        assert_eq!(cols.len(), 6);
+        assert_eq!(cols[0].0, "2x2");
+        assert_eq!(cols[5].0, "8x4");
+    }
+
+    #[test]
+    fn suite_averages_compute_column_means() {
+        let mut s = SuiteAverages::new();
+        s.push(Suite::Int, vec![2.0, 4.0]);
+        s.push(Suite::Int, vec![4.0, 8.0]);
+        s.push(Suite::Fp, vec![10.0, 20.0]);
+        assert_eq!(s.int_means(), vec![3.0, 6.0]);
+        assert_eq!(s.fp_means(), vec![10.0, 20.0]);
+    }
+
+    #[test]
+    fn simulate_matrix_matches_serial() {
+        let benches = vec![by_name("li").unwrap()];
+        let configs = vec![
+            ("a".to_string(), PortConfig::Ideal { ports: 1 }),
+            ("b".to_string(), PortConfig::banked(4)),
+        ];
+        let matrix = simulate_matrix(&benches, Scale::Test, &configs);
+        assert_eq!(matrix.len(), 1);
+        assert_eq!(matrix[0].len(), 2);
+        for (j, (_, port)) in configs.iter().enumerate() {
+            let serial = simulate(&benches[0], Scale::Test, *port);
+            assert_eq!(matrix[0][j], serial, "config {j} differs from serial");
+        }
+    }
+
+    #[test]
+    fn simulate_smoke() {
+        let b = by_name("li").unwrap();
+        let r = simulate(&b, Scale::Test, PortConfig::Ideal { ports: 4 });
+        assert!(r.committed > 10_000);
+        assert!(r.ipc() > 0.5);
+    }
+}

@@ -1,0 +1,184 @@
+//! First-order die-area cost model for the port organizations.
+//!
+//! The paper argues costs qualitatively: ideal multi-porting's cell area
+//! grows quadratically with ports ("increasing capacitance and resistance
+//! load on each access path"), replication pays the full array once per
+//! port plus broadcast wiring, banking pays a crossbar that "grows
+//! superlinearly as the banks increase", and the LBIC adds only "the
+//! multi-ported line buffer per bank, the necessary hit signal gates, and
+//! multiplexors." It also quotes one calibration point: "a large 2-port
+//! replicated cache costs about twice the 2x2 LBIC in die area."
+//!
+//! This module turns those statements into an explicit, documented model
+//! in units of one single-ported data array (= 1.0):
+//!
+//! * **Ideal(p)** — multi-ported SRAM cells: each extra port adds a
+//!   wordline/bitline pair in both dimensions, so array area scales as
+//!   `((1+p)/2)²` (1.0 at one port, ~p²/4 asymptotically).
+//! * **Replicated(p)** — `p` full single-ported arrays plus store
+//!   broadcast wiring proportional to `p`.
+//! * **Banked(m)** — one array's worth of SRAM split into banks, plus a
+//!   crossbar that grows with `m²` and per-bank decode overhead with `m`.
+//! * **LBIC(m,n)** — the banked cost plus, per bank, an `n`-ported
+//!   single-line buffer (a register-file-class structure, quadratic in
+//!   `n` but tiny), a store queue linear in its depth, and offset muxes
+//!   linear in `n`.
+//!
+//! The constants are chosen to (a) respect those growth laws and (b) hit
+//! the paper's 2x calibration quote within ~15%. Absolute silicon areas
+//! are out of scope — only *relative* cost-effectiveness (IPC per area)
+//! is meaningful, which is what the `cost_effectiveness` harness reports.
+
+use crate::model::PortConfig;
+
+/// Crossbar area per bank², in base-array units.
+const CROSSBAR_PER_BANK2: f64 = 0.015;
+/// Per-bank decoder/sense overhead.
+const BANK_OVERHEAD: f64 = 0.02;
+/// Store-broadcast wiring per replicated port.
+const BROADCAST_PER_PORT: f64 = 0.05;
+/// Line-buffer area per bank per line-port² (register-file scaling).
+const LINE_BUFFER_PER_PORT2: f64 = 0.005;
+/// Store-queue area per bank per entry.
+const STORE_QUEUE_PER_ENTRY: f64 = 0.002;
+/// Offset mux / hit-gate area per bank per line port.
+const MUX_PER_PORT: f64 = 0.01;
+
+/// Estimated die area of a port organization, in units of one
+/// single-ported data array of the same capacity.
+///
+/// # Examples
+///
+/// ```
+/// use hbdc_core::{cost, PortConfig};
+///
+/// let single = cost::area(PortConfig::Ideal { ports: 1 });
+/// assert!((single - 1.0).abs() < 1e-9);
+///
+/// // The paper's calibration quote: a 2-port replicated cache costs
+/// // about twice the 2x2 LBIC.
+/// let repl2 = cost::area(PortConfig::Replicated { ports: 2 });
+/// let lbic22 = cost::area(PortConfig::lbic(2, 2));
+/// let ratio = repl2 / lbic22;
+/// assert!((1.6..2.4).contains(&ratio), "ratio {ratio}");
+/// ```
+pub fn area(config: PortConfig) -> f64 {
+    match config {
+        PortConfig::Ideal { ports } => {
+            let p = ports as f64;
+            ((1.0 + p) / 2.0) * ((1.0 + p) / 2.0)
+        }
+        PortConfig::Replicated { ports } => {
+            let p = ports as f64;
+            p + BROADCAST_PER_PORT * p
+        }
+        PortConfig::Banked { banks, .. } => banked_area(banks),
+        PortConfig::Lbic {
+            banks,
+            line_ports,
+            store_queue,
+            ..
+        } => {
+            let m = banks as f64;
+            let n = line_ports as f64;
+            banked_area(banks)
+                + m * (LINE_BUFFER_PER_PORT2 * n * n
+                    + STORE_QUEUE_PER_ENTRY * store_queue as f64
+                    + MUX_PER_PORT * n)
+        }
+    }
+}
+
+fn banked_area(banks: u32) -> f64 {
+    let m = banks as f64;
+    1.0 + CROSSBAR_PER_BANK2 * m * m + BANK_OVERHEAD * m
+}
+
+/// Peak data references per cycle of a configuration (the denominator of
+/// a bandwidth-per-area figure of merit).
+pub fn peak_bandwidth(config: PortConfig) -> usize {
+    match config {
+        PortConfig::Ideal { ports } | PortConfig::Replicated { ports } => ports,
+        PortConfig::Banked { banks, .. } => banks as usize,
+        PortConfig::Lbic {
+            banks, line_ports, ..
+        } => banks as usize * line_ports,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_port_is_the_unit() {
+        assert!((area(PortConfig::Ideal { ports: 1 }) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ideal_grows_quadratically() {
+        let a4 = area(PortConfig::Ideal { ports: 4 });
+        let a8 = area(PortConfig::Ideal { ports: 8 });
+        let a16 = area(PortConfig::Ideal { ports: 16 });
+        assert!(a8 / a4 > 2.5, "doubling ports should ~3-4x area");
+        assert!(a16 / a8 > 2.5);
+        assert!(a16 > 50.0, "16 ideal ports must be prohibitive: {a16}");
+    }
+
+    #[test]
+    fn replication_is_linear() {
+        let a2 = area(PortConfig::Replicated { ports: 2 });
+        let a4 = area(PortConfig::Replicated { ports: 4 });
+        assert!((a4 / a2 - 2.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn banking_is_the_cheapest_multiport() {
+        for n in [2u32, 4, 8, 16] {
+            let bank = area(PortConfig::banked(n));
+            let repl = area(PortConfig::Replicated { ports: n as usize });
+            let ideal = area(PortConfig::Ideal { ports: n as usize });
+            assert!(bank < repl, "{n}: bank {bank} vs repl {repl}");
+            assert!(bank < ideal, "{n}: bank {bank} vs ideal {ideal}");
+        }
+    }
+
+    #[test]
+    fn lbic_costs_slightly_more_than_banked() {
+        for (m, n) in [(2u32, 2usize), (4, 2), (4, 4), (8, 4)] {
+            let bank = area(PortConfig::banked(m));
+            let lbic = area(PortConfig::lbic(m, n));
+            assert!(lbic > bank);
+            assert!(
+                lbic < bank * 1.6,
+                "{m}x{n}: LBIC must stay near banked cost ({lbic} vs {bank})"
+            );
+        }
+    }
+
+    #[test]
+    fn papers_calibration_quote_holds() {
+        // "A large 2-port replicated cache costs about twice the 2x2 LBIC."
+        let ratio = area(PortConfig::Replicated { ports: 2 }) / area(PortConfig::lbic(2, 2));
+        assert!((1.6..2.4).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn lbic_peak_bandwidth_per_area_dominates() {
+        // The headline cost-effectiveness argument: peak refs/cycle per
+        // area unit. The 4x4 LBIC must beat ideal-4, repl-4, and bank-4.
+        let per_area = |c: PortConfig| peak_bandwidth(c) as f64 / area(c);
+        let lbic = per_area(PortConfig::lbic(4, 4));
+        assert!(lbic > per_area(PortConfig::Ideal { ports: 4 }));
+        assert!(lbic > per_area(PortConfig::Replicated { ports: 4 }));
+        assert!(lbic > per_area(PortConfig::banked(4)));
+    }
+
+    #[test]
+    fn peak_bandwidths() {
+        assert_eq!(peak_bandwidth(PortConfig::Ideal { ports: 7 }), 7);
+        assert_eq!(peak_bandwidth(PortConfig::Replicated { ports: 3 }), 3);
+        assert_eq!(peak_bandwidth(PortConfig::banked(8)), 8);
+        assert_eq!(peak_bandwidth(PortConfig::lbic(4, 4)), 16);
+    }
+}

@@ -1,0 +1,548 @@
+//! The Locality-Based Interleaved Cache (LBIC), paper §5.
+
+use std::collections::VecDeque;
+
+use hbdc_mem::BankMapper;
+
+use crate::model::PortModel;
+use crate::request::MemRequest;
+use crate::stats::ArbStats;
+
+/// How the LSQ combining logic picks the group of accesses for each bank
+/// (paper §5.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CombinePolicy {
+    /// Combine with the *leading request* — the oldest grantable ready
+    /// reference to each bank locks that bank's line buffer, and younger
+    /// same-line references ride along. The paper's choice: "we settled on
+    /// the leading request because we believe it is fair and simple."
+    #[default]
+    LeadingRequest,
+    /// Find the *largest group* of combinable ready accesses per bank and
+    /// grant that group instead. The paper's proposed enhancement, whose
+    /// "sorting logic … may be costly"; implemented here as ablation B.
+    LargestGroup,
+}
+
+#[derive(Debug)]
+struct Bank {
+    store_queue: VecDeque<u64>, // addresses of stores awaiting drain
+    granted_this_cycle: bool,
+}
+
+/// The Locality-Based Interleaved Cache: a traditional `M`-bank cache with
+/// an `N`-ported single-line buffer and a store queue on each bank.
+///
+/// Per cycle and per bank, the leading (oldest grantable) reference locks
+/// the bank's line buffer to its cache line; up to `N-1` further ready
+/// references *to the same line* combine with it. Granted stores deposit
+/// into the bank's store queue, which drains one entry per idle bank cycle
+/// (the HP PA8000 discipline the paper cites); a full store queue makes
+/// further stores to that bank ungrantable until it drains. Loads never
+/// block on the store queue — their data is served from the line buffer.
+///
+/// An `MxN` LBIC therefore peaks at `M*N` references per cycle while its
+/// cache arrays remain plain single-ported banks.
+///
+/// # Examples
+///
+/// ```
+/// use hbdc_core::{CombinePolicy, Lbic, MemRequest, PortModel};
+///
+/// let mut m = Lbic::new(2, 2, 8, 32, CombinePolicy::LeadingRequest);
+/// // The paper's Figure 4c pattern: st/ld/ld/st over two banks, one line
+/// // per bank. With 32-byte lines and 2 banks, line 12 (addresses
+/// // 0x180..0x19f) maps to bank 0 and line 11 (0x160..0x17f) to bank 1.
+/// let ready = vec![
+///     MemRequest::store(0, 0x180), // bank 0, line 12, offset 0
+///     MemRequest::load(1, 0x164),  // bank 1, line 11, offset 4
+///     MemRequest::load(2, 0x168),  // bank 1, line 11, offset 8
+///     MemRequest::store(3, 0x18c), // bank 0, line 12, offset 12
+/// ];
+/// assert_eq!(m.arbitrate(&ready).len(), 4); // all four in one cycle
+/// ```
+#[derive(Debug)]
+pub struct Lbic {
+    mapper: BankMapper,
+    line_ports: usize,
+    sq_capacity: usize,
+    policy: CombinePolicy,
+    line_shift: u32,
+    banks: Vec<Bank>,
+    stats: ArbStats,
+}
+
+impl Lbic {
+    /// Creates an `banks x line_ports` LBIC for a cache with the given
+    /// line size, using bit-selection bank mapping.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `banks` is not a power of two, `line_ports` is zero, or
+    /// `store_queue` is zero.
+    pub fn new(
+        banks: u32,
+        line_ports: usize,
+        store_queue: usize,
+        line_size: u64,
+        policy: CombinePolicy,
+    ) -> Self {
+        Self::with_mapper(
+            BankMapper::bit_select(banks, line_size),
+            line_ports,
+            store_queue,
+            line_size,
+            policy,
+        )
+    }
+
+    /// Creates an LBIC with an explicit bank-selection function.
+    pub fn with_mapper(
+        mapper: BankMapper,
+        line_ports: usize,
+        store_queue: usize,
+        line_size: u64,
+        policy: CombinePolicy,
+    ) -> Self {
+        assert!(line_ports > 0, "line buffer needs at least one port");
+        assert!(store_queue > 0, "store queue needs at least one entry");
+        let n_banks = mapper.banks() as usize;
+        Self {
+            mapper,
+            line_ports,
+            sq_capacity: store_queue,
+            policy,
+            line_shift: line_size.trailing_zeros(),
+            banks: (0..n_banks)
+                .map(|_| Bank {
+                    store_queue: VecDeque::new(),
+                    granted_this_cycle: false,
+                })
+                .collect(),
+            stats: ArbStats::new(n_banks * line_ports),
+        }
+    }
+
+    /// The bank-selection function in use.
+    pub fn mapper(&self) -> &BankMapper {
+        &self.mapper
+    }
+
+    /// The combining policy in use.
+    pub fn policy(&self) -> CombinePolicy {
+        self.policy
+    }
+
+    /// Current store-queue occupancy of `bank` (for tests and reports).
+    pub fn store_queue_len(&self, bank: u32) -> usize {
+        self.banks[bank as usize].store_queue.len()
+    }
+
+    fn line_of(&self, addr: u64) -> u64 {
+        addr >> self.line_shift
+    }
+
+    /// Leading-request selection: one ordered walk, first grantable
+    /// reference per bank locks the line.
+    fn arbitrate_leading(&mut self, ready: &[MemRequest]) -> Vec<usize> {
+        // Per-bank cycle state: the locked line and grants so far.
+        let mut locked: Vec<Option<u64>> = vec![None; self.banks.len()];
+        let mut counts: Vec<usize> = vec![0; self.banks.len()];
+        let mut sq_free: Vec<usize> = self
+            .banks
+            .iter()
+            .map(|b| self.sq_capacity - b.store_queue.len().min(self.sq_capacity))
+            .collect();
+        let mut granted = Vec::new();
+        let mut conflicts = 0u64;
+        let mut exhausted = 0u64;
+        let mut sq_full = 0u64;
+        let mut combined = 0u64;
+
+        for (i, r) in ready.iter().enumerate() {
+            let bank = self.mapper.bank_of(r.addr) as usize;
+            let line = self.line_of(r.addr);
+            match locked[bank] {
+                None => {
+                    if r.is_store && sq_free[bank] == 0 {
+                        sq_full += 1;
+                        continue;
+                    }
+                    locked[bank] = Some(line);
+                    counts[bank] = 1;
+                    if r.is_store {
+                        sq_free[bank] -= 1;
+                        self.banks[bank].store_queue.push_back(r.addr);
+                    }
+                    granted.push(i);
+                }
+                Some(l) if l == line => {
+                    if counts[bank] >= self.line_ports {
+                        exhausted += 1;
+                        continue;
+                    }
+                    if r.is_store && sq_free[bank] == 0 {
+                        sq_full += 1;
+                        continue;
+                    }
+                    counts[bank] += 1;
+                    combined += 1;
+                    if r.is_store {
+                        sq_free[bank] -= 1;
+                        self.banks[bank].store_queue.push_back(r.addr);
+                    }
+                    granted.push(i);
+                }
+                Some(_) => {
+                    conflicts += 1;
+                }
+            }
+        }
+
+        for (bank, &c) in counts.iter().enumerate() {
+            if c > 0 {
+                self.banks[bank].granted_this_cycle = true;
+            }
+        }
+        if conflicts > 0 {
+            self.stats.bump("bank_conflicts", conflicts);
+        }
+        if exhausted > 0 {
+            self.stats.bump("port_exhaustion", exhausted);
+        }
+        if sq_full > 0 {
+            self.stats.bump("sq_full_stalls", sq_full);
+        }
+        if combined > 0 {
+            self.stats.bump("combined", combined);
+        }
+        granted
+    }
+
+    /// Largest-group selection: per bank, the line with the most ready
+    /// references wins (ties broken toward the oldest leading reference).
+    fn arbitrate_largest(&mut self, ready: &[MemRequest]) -> Vec<usize> {
+        let n_banks = self.banks.len();
+        // Bucket request indices by bank.
+        let mut by_bank: Vec<Vec<usize>> = vec![Vec::new(); n_banks];
+        for (i, r) in ready.iter().enumerate() {
+            by_bank[self.mapper.bank_of(r.addr) as usize].push(i);
+        }
+
+        let mut granted = Vec::new();
+        let mut combined = 0u64;
+        let mut sq_full = 0u64;
+
+        for (bank, idxs) in by_bank.iter().enumerate() {
+            if idxs.is_empty() {
+                continue;
+            }
+            // Count references per line, preserving first-seen order so
+            // ties favour the line of the oldest reference.
+            let mut lines: Vec<(u64, usize)> = Vec::new();
+            for &i in idxs {
+                let line = self.line_of(ready[i].addr);
+                match lines.iter_mut().find(|(l, _)| *l == line) {
+                    Some((_, c)) => *c += 1,
+                    None => lines.push((line, 1)),
+                }
+            }
+            // First-seen order breaks ties toward the oldest reference;
+            // keep the first strictly-greatest count.
+            let mut best_line = lines[0].0;
+            let mut best_count = lines[0].1;
+            for &(l, c) in &lines[1..] {
+                if c > best_count {
+                    best_line = l;
+                    best_count = c;
+                }
+            }
+
+            let mut count = 0usize;
+            let mut sq_free =
+                self.sq_capacity - self.banks[bank].store_queue.len().min(self.sq_capacity);
+            for &i in idxs {
+                if self.line_of(ready[i].addr) != best_line {
+                    continue;
+                }
+                if count >= self.line_ports {
+                    self.stats.bump("port_exhaustion", 1);
+                    continue;
+                }
+                if ready[i].is_store {
+                    if sq_free == 0 {
+                        sq_full += 1;
+                        continue;
+                    }
+                    sq_free -= 1;
+                    self.banks[bank].store_queue.push_back(ready[i].addr);
+                }
+                if count > 0 {
+                    combined += 1;
+                }
+                count += 1;
+                granted.push(i);
+            }
+            if count > 0 {
+                self.banks[bank].granted_this_cycle = true;
+            }
+            let losers = idxs.len()
+                - granted
+                    .iter()
+                    .filter(|&&g| by_bank[bank].contains(&g))
+                    .count();
+            if losers > 0 {
+                self.stats.bump("bank_conflicts", losers as u64);
+            }
+        }
+
+        if combined > 0 {
+            self.stats.bump("combined", combined);
+        }
+        if sq_full > 0 {
+            self.stats.bump("sq_full_stalls", sq_full);
+        }
+        granted.sort_unstable();
+        granted
+    }
+}
+
+impl PortModel for Lbic {
+    fn arbitrate(&mut self, ready: &[MemRequest]) -> Vec<usize> {
+        let granted = match self.policy {
+            CombinePolicy::LeadingRequest => self.arbitrate_leading(ready),
+            CombinePolicy::LargestGroup => self.arbitrate_largest(ready),
+        };
+        self.stats.record_round(ready.len(), granted.len());
+        granted
+    }
+
+    fn tick(&mut self) {
+        // Store queues drain on idle bank cycles (paper §5.2: "the store
+        // queue uses idle cycles … to perform stores"). One drain writes
+        // one cache line through the bank's single port, so every queued
+        // store to that line retires together — the store queue coalesces
+        // same-line stores into a single array write.
+        let mut drains = 0u64;
+        let line_shift = self.line_shift;
+        for bank in &mut self.banks {
+            if !bank.granted_this_cycle {
+                if let Some(head) = bank.store_queue.pop_front() {
+                    let line = head >> line_shift;
+                    let before = bank.store_queue.len();
+                    bank.store_queue.retain(|a| a >> line_shift != line);
+                    drains += 1 + (before - bank.store_queue.len()) as u64;
+                }
+            }
+            bank.granted_this_cycle = false;
+        }
+        if drains > 0 {
+            self.stats.bump("sq_drains", drains);
+        }
+        self.stats.record_tick();
+    }
+
+    fn peak_per_cycle(&self) -> usize {
+        self.banks.len() * self.line_ports
+    }
+
+    fn label(&self) -> String {
+        format!("LBIC-{}x{}", self.banks.len(), self.line_ports)
+    }
+
+    fn stats(&self) -> &ArbStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds an address for (bank, line-within-bank, offset) under
+    /// 2-bank bit selection with 32-byte lines.
+    fn addr2(bank: u64, line_sel: u64, offset: u64) -> u64 {
+        (line_sel << 6) | (bank << 5) | offset
+    }
+
+    fn lbic(m: u32, n: usize) -> Lbic {
+        Lbic::new(m, n, 8, 32, CombinePolicy::LeadingRequest)
+    }
+
+    #[test]
+    fn figure_4c_single_cycle() {
+        // The paper's Figure 4c: st(B0,L12,o0), ld(B1,L10,o4),
+        // ld(B1,L10,o8), st(B0,L12,o12) — a 2x2 LBIC handles all four in
+        // one cycle.
+        let mut m = lbic(2, 2);
+        let ready = vec![
+            MemRequest::store(0, addr2(0, 12, 0)),
+            MemRequest::load(1, addr2(1, 10, 4)),
+            MemRequest::load(2, addr2(1, 10, 8)),
+            MemRequest::store(3, addr2(0, 12, 12)),
+        ];
+        assert_eq!(m.arbitrate(&ready), vec![0, 1, 2, 3]);
+        assert_eq!(m.stats().extra_counter("combined"), 2);
+    }
+
+    #[test]
+    fn same_bank_different_line_conflicts() {
+        let mut m = lbic(2, 2);
+        let ready = vec![
+            MemRequest::load(0, addr2(0, 1, 0)),
+            MemRequest::load(1, addr2(0, 2, 0)), // same bank, different line
+        ];
+        assert_eq!(m.arbitrate(&ready), vec![0]);
+        assert_eq!(m.stats().extra_counter("bank_conflicts"), 1);
+    }
+
+    #[test]
+    fn line_port_exhaustion_caps_combining() {
+        let mut m = lbic(2, 2);
+        let ready: Vec<MemRequest> = (0..4)
+            .map(|i| MemRequest::load(i, addr2(0, 5, i * 8)))
+            .collect();
+        assert_eq!(m.arbitrate(&ready), vec![0, 1]); // N = 2
+        assert_eq!(m.stats().extra_counter("port_exhaustion"), 2);
+    }
+
+    #[test]
+    fn peak_is_m_times_n() {
+        assert_eq!(lbic(4, 4).peak_per_cycle(), 16);
+        // 4 lines, one per bank, 4 same-line refs each → all 16 grant.
+        let mut ready = Vec::new();
+        for bank in 0..4u64 {
+            for k in 0..4u64 {
+                ready.push(MemRequest::load(
+                    bank * 4 + k,
+                    (bank << 5) | (k * 8), // 4-bank mapping: bits 5..6
+                ));
+            }
+        }
+        let mut model = Lbic::new(4, 4, 16, 32, CombinePolicy::LeadingRequest);
+        assert_eq!(model.arbitrate(&ready).len(), 16);
+    }
+
+    #[test]
+    fn full_store_queue_blocks_stores_not_loads() {
+        let mut m = Lbic::new(2, 2, 1, 32, CombinePolicy::LeadingRequest);
+        // Fill the single-entry store queue of bank 0.
+        let g = m.arbitrate(&[MemRequest::store(0, addr2(0, 1, 0))]);
+        assert_eq!(g, vec![0]);
+        assert_eq!(m.store_queue_len(0), 1);
+        // Bank 0 was busy this cycle, so no drain happens at tick.
+        m.tick();
+        assert_eq!(m.store_queue_len(0), 1);
+        // Next cycle: another store to bank 0 is blocked; a load to the
+        // same line proceeds and becomes the leading request.
+        let ready = vec![
+            MemRequest::store(1, addr2(0, 1, 8)),
+            MemRequest::load(2, addr2(0, 1, 16)),
+        ];
+        assert_eq!(m.arbitrate(&ready), vec![1]);
+        assert_eq!(m.stats().extra_counter("sq_full_stalls"), 1);
+    }
+
+    #[test]
+    fn store_queue_drains_on_idle_cycles() {
+        let mut m = Lbic::new(2, 2, 4, 32, CombinePolicy::LeadingRequest);
+        m.arbitrate(&[
+            MemRequest::store(0, addr2(0, 1, 0)),
+            MemRequest::store(1, addr2(0, 1, 8)),
+        ]);
+        assert_eq!(m.store_queue_len(0), 2);
+        m.tick(); // bank was busy: no drain
+        assert_eq!(m.store_queue_len(0), 2);
+        m.arbitrate(&[]); // idle cycle: both stores share a line, so one
+        m.tick(); // array write retires them together
+        assert_eq!(m.store_queue_len(0), 0);
+        assert_eq!(m.stats().extra_counter("sq_drains"), 2);
+    }
+
+    #[test]
+    fn store_queue_drain_coalesces_only_same_line() {
+        let mut m = Lbic::new(2, 2, 8, 32, CombinePolicy::LeadingRequest);
+        m.arbitrate(&[
+            MemRequest::store(0, addr2(0, 1, 0)),
+            MemRequest::store(1, addr2(0, 1, 8)),
+        ]);
+        m.tick(); // busy, no drain
+        m.arbitrate(&[MemRequest::store(2, addr2(0, 2, 0))]);
+        m.tick(); // busy again
+        assert_eq!(m.store_queue_len(0), 3);
+        m.arbitrate(&[]);
+        m.tick(); // drains the two line-1 stores together
+        assert_eq!(m.store_queue_len(0), 1);
+        m.arbitrate(&[]);
+        m.tick(); // drains the line-2 store
+        assert_eq!(m.store_queue_len(0), 0);
+    }
+
+    #[test]
+    fn mx1_behaves_like_banked_for_loads() {
+        use crate::banked::BankedPorts;
+        let mut lb = Lbic::new(4, 1, 64, 32, CombinePolicy::LeadingRequest);
+        let mut bk = BankedPorts::new(4, 32);
+        let ready: Vec<MemRequest> = (0..8)
+            .map(|i| MemRequest::load(i, (i * 13 % 32) * 32))
+            .collect();
+        assert_eq!(lb.arbitrate(&ready), bk.arbitrate(&ready));
+    }
+
+    #[test]
+    fn largest_group_beats_leading_on_skewed_pattern() {
+        // Oldest request is a singleton line; three younger requests share
+        // another line. Leading grants 1; largest-group grants 3.
+        let ready = vec![
+            MemRequest::load(0, addr2(0, 1, 0)),
+            MemRequest::load(1, addr2(0, 2, 0)),
+            MemRequest::load(2, addr2(0, 2, 8)),
+            MemRequest::load(3, addr2(0, 2, 16)),
+        ];
+        let mut lead = Lbic::new(2, 4, 8, 32, CombinePolicy::LeadingRequest);
+        let mut large = Lbic::new(2, 4, 8, 32, CombinePolicy::LargestGroup);
+        assert_eq!(lead.arbitrate(&ready), vec![0]);
+        assert_eq!(large.arbitrate(&ready), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn largest_group_tie_prefers_oldest() {
+        let ready = vec![
+            MemRequest::load(0, addr2(0, 1, 0)),
+            MemRequest::load(1, addr2(0, 2, 0)),
+            MemRequest::load(2, addr2(0, 1, 8)),
+            MemRequest::load(3, addr2(0, 2, 8)),
+        ];
+        let mut m = Lbic::new(2, 4, 8, 32, CombinePolicy::LargestGroup);
+        // Tie between lines 1 and 2 (2 refs each) — line 1 contains the
+        // oldest reference and wins.
+        assert_eq!(m.arbitrate(&ready), vec![0, 2]);
+    }
+
+    #[test]
+    fn load_after_store_same_location_same_cycle() {
+        // Paper §5.2: "a load followed by a store to the same memory
+        // location [can] be accepted in the same cycle."
+        let mut m = lbic(2, 2);
+        let a = addr2(0, 3, 8);
+        let ready = vec![MemRequest::load(0, a), MemRequest::store(1, a)];
+        assert_eq!(m.arbitrate(&ready), vec![0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one port")]
+    fn zero_line_ports_panics() {
+        Lbic::new(2, 0, 8, 32, CombinePolicy::LeadingRequest);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_store_queue_panics() {
+        Lbic::new(2, 2, 0, 32, CombinePolicy::LeadingRequest);
+    }
+
+    #[test]
+    fn label_is_mxn() {
+        assert_eq!(lbic(8, 4).label(), "LBIC-8x4");
+    }
+}

@@ -1,0 +1,140 @@
+//! Arbitration statistics shared by all port models.
+
+use hbdc_stats::Histogram;
+
+/// Accounting collected by every [`PortModel`](crate::PortModel).
+///
+/// # Examples
+///
+/// ```
+/// use hbdc_core::{MemRequest, PortConfig, PortModel};
+///
+/// let mut m = PortConfig::Ideal { ports: 2 }.build(32);
+/// m.arbitrate(&[MemRequest::load(0, 0), MemRequest::load(1, 8), MemRequest::load(2, 64)]);
+/// m.tick();
+/// let s = m.stats();
+/// assert_eq!(s.offered(), 3);
+/// assert_eq!(s.granted(), 2);
+/// assert_eq!(s.cycles(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ArbStats {
+    cycles: u64,
+    offered: u64,
+    granted: u64,
+    grants_per_cycle: Histogram,
+    extra: Vec<(&'static str, u64)>,
+}
+
+impl ArbStats {
+    /// Creates zeroed stats for a model whose peak grant rate is
+    /// `peak_per_cycle` (sizes the per-cycle histogram).
+    pub fn new(peak_per_cycle: usize) -> Self {
+        Self {
+            cycles: 0,
+            offered: 0,
+            granted: 0,
+            grants_per_cycle: Histogram::new("grants/cycle", peak_per_cycle),
+            extra: Vec::new(),
+        }
+    }
+
+    /// Records one arbitration round.
+    pub(crate) fn record_round(&mut self, offered: usize, granted: usize) {
+        self.offered += offered as u64;
+        self.granted += granted as u64;
+        if offered > 0 {
+            self.grants_per_cycle.record(granted);
+        }
+    }
+
+    /// Records a cycle boundary.
+    pub(crate) fn record_tick(&mut self) {
+        self.cycles += 1;
+    }
+
+    /// Bumps a model-specific named counter.
+    pub(crate) fn bump(&mut self, name: &'static str, by: u64) {
+        match self.extra.iter_mut().find(|(n, _)| *n == name) {
+            Some((_, v)) => *v += by,
+            None => self.extra.push((name, by)),
+        }
+    }
+
+    /// Cycles ticked.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Total requests offered across all rounds.
+    pub fn offered(&self) -> u64 {
+        self.offered
+    }
+
+    /// Total requests granted.
+    pub fn granted(&self) -> u64 {
+        self.granted
+    }
+
+    /// Requests that were offered but not granted (conflict/stall events).
+    pub fn stalled(&self) -> u64 {
+        self.offered - self.granted
+    }
+
+    /// Histogram of grants per non-empty arbitration round.
+    pub fn grants_per_cycle(&self) -> &Histogram {
+        &self.grants_per_cycle
+    }
+
+    /// Model-specific counters, e.g. `("combined", n)` for the LBIC or
+    /// `("store_serializations", n)` for the replicated cache.
+    pub fn extra(&self) -> &[(&'static str, u64)] {
+        &self.extra
+    }
+
+    /// Looks up a model-specific counter by name (0 if absent).
+    pub fn extra_counter(&self, name: &str) -> u64 {
+        self.extra
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rounds_accumulate() {
+        let mut s = ArbStats::new(4);
+        s.record_round(3, 2);
+        s.record_round(1, 1);
+        s.record_round(0, 0); // empty rounds don't pollute the histogram
+        assert_eq!(s.offered(), 4);
+        assert_eq!(s.granted(), 3);
+        assert_eq!(s.stalled(), 1);
+        assert_eq!(s.grants_per_cycle().total(), 2);
+    }
+
+    #[test]
+    fn extra_counters() {
+        let mut s = ArbStats::new(2);
+        s.bump("combined", 3);
+        s.bump("combined", 2);
+        s.bump("sq_full", 1);
+        assert_eq!(s.extra_counter("combined"), 5);
+        assert_eq!(s.extra_counter("sq_full"), 1);
+        assert_eq!(s.extra_counter("missing"), 0);
+        assert_eq!(s.extra().len(), 2);
+    }
+
+    #[test]
+    fn ticks_count_cycles() {
+        let mut s = ArbStats::new(1);
+        s.record_tick();
+        s.record_tick();
+        assert_eq!(s.cycles(), 2);
+    }
+}

@@ -1,0 +1,314 @@
+//! Branch predictors and front-end configuration.
+//!
+//! The paper deliberately runs a *perfect* front end ("we assume a
+//! perfect branch predictor", §2.1) so that data supply is the only
+//! bottleneck, while acknowledging (§2.2) that real speculative machines
+//! put extra pressure on the memory system. This module relaxes that
+//! assumption: pluggable direction predictors with a misprediction
+//! redirect penalty, so the sensitivity of the bandwidth results to the
+//! perfect-front-end idealization can be measured (the
+//! `frontend_sensitivity` experiment binary).
+//!
+//! Modeling scope: a mispredicted branch stalls fetch until the branch
+//! resolves (plus a fixed redirect penalty). Wrong-path instructions are
+//! not executed — with a functional-first emulator the wrong-path
+//! register state is unavailable — so wrong-path cache *pollution* is out
+//! of scope; the modeled cost is fetch starvation, which is the
+//! first-order IPC effect.
+
+/// A branch direction predictor.
+///
+/// Implementations are table-based hardware models: they are *consulted*
+/// at fetch with the branch's PC and *trained* with the actual outcome.
+pub trait BranchPredictor {
+    /// Predicts the direction of the branch at `pc`.
+    fn predict(&mut self, pc: u32) -> bool;
+
+    /// Trains the predictor with the branch's resolved direction.
+    fn train(&mut self, pc: u32, taken: bool);
+
+    /// A short label for reports.
+    fn label(&self) -> String;
+}
+
+/// Front-end configuration: perfect (the paper's assumption) or a real
+/// predictor with a redirect penalty in cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FrontEnd {
+    /// Perfect branch prediction — the paper's Table 1 machine.
+    #[default]
+    Perfect,
+    /// A real direction predictor; mispredictions stall fetch until the
+    /// branch resolves, plus `redirect_penalty` cycles.
+    Predicted {
+        /// Which predictor.
+        kind: PredictorKind,
+        /// Extra cycles after branch resolution before fetch resumes.
+        redirect_penalty: u32,
+    },
+}
+
+/// Table-based predictor families.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PredictorKind {
+    /// Static always-taken.
+    AlwaysTaken,
+    /// Per-PC two-bit saturating counters (bimodal), `entries` slots.
+    Bimodal {
+        /// Table entries (power of two).
+        entries: usize,
+    },
+    /// Global-history XOR PC indexed two-bit counters (gshare).
+    Gshare {
+        /// Table entries (power of two).
+        entries: usize,
+        /// Global history bits.
+        history_bits: u32,
+    },
+}
+
+impl PredictorKind {
+    /// Builds the predictor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a table size is not a power of two.
+    pub fn build(self) -> Box<dyn BranchPredictor> {
+        match self {
+            PredictorKind::AlwaysTaken => Box::new(AlwaysTaken),
+            PredictorKind::Bimodal { entries } => Box::new(Bimodal::new(entries)),
+            PredictorKind::Gshare {
+                entries,
+                history_bits,
+            } => Box::new(Gshare::new(entries, history_bits)),
+        }
+    }
+}
+
+/// Static always-taken prediction.
+#[derive(Debug, Default)]
+pub struct AlwaysTaken;
+
+impl BranchPredictor for AlwaysTaken {
+    fn predict(&mut self, _pc: u32) -> bool {
+        true
+    }
+
+    fn train(&mut self, _pc: u32, _taken: bool) {}
+
+    fn label(&self) -> String {
+        "always-taken".into()
+    }
+}
+
+/// Two-bit saturating counter, the classic state machine.
+#[derive(Debug, Clone, Copy, Default)]
+struct TwoBit(u8); // 0,1 predict not-taken; 2,3 predict taken
+
+impl TwoBit {
+    fn predict(self) -> bool {
+        self.0 >= 2
+    }
+
+    fn train(&mut self, taken: bool) {
+        if taken {
+            self.0 = (self.0 + 1).min(3);
+        } else {
+            self.0 = self.0.saturating_sub(1);
+        }
+    }
+}
+
+/// Bimodal predictor: a PC-indexed table of two-bit counters.
+#[derive(Debug)]
+pub struct Bimodal {
+    table: Vec<TwoBit>,
+    mask: usize,
+}
+
+impl Bimodal {
+    /// Creates a bimodal predictor with `entries` counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `entries` is a power of two.
+    pub fn new(entries: usize) -> Self {
+        assert!(
+            entries.is_power_of_two(),
+            "table size must be a power of two"
+        );
+        Self {
+            table: vec![TwoBit(1); entries], // weakly not-taken
+            mask: entries - 1,
+        }
+    }
+}
+
+impl BranchPredictor for Bimodal {
+    fn predict(&mut self, pc: u32) -> bool {
+        self.table[pc as usize & self.mask].predict()
+    }
+
+    fn train(&mut self, pc: u32, taken: bool) {
+        self.table[pc as usize & self.mask].train(taken);
+    }
+
+    fn label(&self) -> String {
+        format!("bimodal-{}", self.table.len())
+    }
+}
+
+/// Gshare: global branch history XORed with the PC indexes the counters.
+#[derive(Debug)]
+pub struct Gshare {
+    table: Vec<TwoBit>,
+    mask: usize,
+    history: u32,
+    history_mask: u32,
+}
+
+impl Gshare {
+    /// Creates a gshare predictor.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `entries` is a power of two or if `history_bits`
+    /// exceeds 20.
+    pub fn new(entries: usize, history_bits: u32) -> Self {
+        assert!(
+            entries.is_power_of_two(),
+            "table size must be a power of two"
+        );
+        assert!(history_bits <= 20, "history too long");
+        Self {
+            table: vec![TwoBit(1); entries],
+            mask: entries - 1,
+            history: 0,
+            history_mask: (1u32 << history_bits) - 1,
+        }
+    }
+
+    fn index(&self, pc: u32) -> usize {
+        ((pc ^ self.history) as usize) & self.mask
+    }
+}
+
+impl BranchPredictor for Gshare {
+    fn predict(&mut self, pc: u32) -> bool {
+        self.table[self.index(pc)].predict()
+    }
+
+    fn train(&mut self, pc: u32, taken: bool) {
+        let idx = self.index(pc);
+        self.table[idx].train(taken);
+        self.history = ((self.history << 1) | taken as u32) & self.history_mask;
+    }
+
+    fn label(&self) -> String {
+        format!("gshare-{}", self.table.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_bit_counter_hysteresis() {
+        let mut c = TwoBit(1);
+        assert!(!c.predict());
+        c.train(true);
+        assert!(c.predict()); // 2
+        c.train(false);
+        assert!(!c.predict()); // back to 1
+        c.train(true);
+        c.train(true); // 3 (saturated)
+        c.train(true);
+        c.train(false);
+        assert!(c.predict()); // one not-taken doesn't flip a strong state
+    }
+
+    #[test]
+    fn bimodal_learns_a_biased_branch() {
+        let mut p = Bimodal::new(64);
+        for _ in 0..4 {
+            let pred = p.predict(12);
+            p.train(12, true);
+            let _ = pred;
+        }
+        assert!(p.predict(12));
+        // An independent PC is unaffected.
+        assert!(!p.predict(13));
+    }
+
+    #[test]
+    fn bimodal_aliasing_uses_low_bits() {
+        let mut p = Bimodal::new(16);
+        for _ in 0..4 {
+            p.train(0, true);
+        }
+        assert!(p.predict(16)); // aliases to the same entry
+    }
+
+    #[test]
+    fn gshare_learns_an_alternating_pattern() {
+        // taken, not-taken, taken, … is unlearnable for bimodal but easy
+        // for gshare with 1+ history bits.
+        let mut g = Gshare::new(256, 4);
+        let mut correct = 0;
+        let total = 400;
+        for i in 0..total {
+            let actual = i % 2 == 0;
+            if g.predict(7) == actual {
+                correct += 1;
+            }
+            g.train(7, actual);
+        }
+        assert!(
+            correct > total * 8 / 10,
+            "gshare only got {correct}/{total} on an alternating branch"
+        );
+    }
+
+    #[test]
+    fn bimodal_cannot_learn_alternation() {
+        let mut b = Bimodal::new(256);
+        let mut correct = 0;
+        let total = 400;
+        for i in 0..total {
+            let actual = i % 2 == 0;
+            if b.predict(7) == actual {
+                correct += 1;
+            }
+            b.train(7, actual);
+        }
+        assert!(
+            correct < total * 7 / 10,
+            "bimodal implausibly got {correct}/{total} on alternation"
+        );
+    }
+
+    #[test]
+    fn kinds_build_with_labels() {
+        assert_eq!(PredictorKind::AlwaysTaken.build().label(), "always-taken");
+        assert_eq!(
+            PredictorKind::Bimodal { entries: 512 }.build().label(),
+            "bimodal-512"
+        );
+        assert_eq!(
+            PredictorKind::Gshare {
+                entries: 1024,
+                history_bits: 8
+            }
+            .build()
+            .label(),
+            "gshare-1024"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_table_panics() {
+        Bimodal::new(100);
+    }
+}

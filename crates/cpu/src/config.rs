@@ -1,0 +1,118 @@
+//! Processor configuration (paper Table 1).
+
+use crate::bpred::FrontEnd;
+
+/// Configuration of the dynamic superscalar machine.
+///
+/// The default matches the paper's Table 1: fetch and out-of-order issue
+/// of up to 64 operations per cycle, a 1024-entry register update unit, a
+/// 512-entry load/store queue, perfect instruction supply and branch
+/// prediction, and 64 functional units of every class.
+///
+/// # Examples
+///
+/// ```
+/// let cfg = hbdc_cpu::CpuConfig::default();
+/// assert_eq!(cfg.fetch_width, 64);
+/// assert_eq!(cfg.ruu_size, 1024);
+/// assert_eq!(cfg.lsq_size, 512);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CpuConfig {
+    /// Instructions fetched (in program order) per cycle.
+    pub fetch_width: u32,
+    /// Operations issued out of order per cycle.
+    pub issue_width: u32,
+    /// Instructions committed in order per cycle.
+    pub commit_width: u32,
+    /// Register update unit (instruction window / reorder buffer) entries.
+    pub ruu_size: usize,
+    /// Load/store queue entries.
+    pub lsq_size: usize,
+    /// Number of integer ALUs.
+    pub int_alu_units: u32,
+    /// Number of integer multipliers.
+    pub int_mult_units: u32,
+    /// Number of integer dividers.
+    pub int_div_units: u32,
+    /// Number of FP adders.
+    pub fp_add_units: u32,
+    /// Number of FP multipliers.
+    pub fp_mult_units: u32,
+    /// Number of FP dividers.
+    pub fp_div_units: u32,
+    /// Number of load/store units — the address-generation throughput cap
+    /// per cycle (paper Table 1: "varying # of L/S units"). The *cache*
+    /// bandwidth is governed by the port model; this bounds how many
+    /// memory instructions can begin address generation per cycle.
+    pub ls_units: u32,
+    /// Functionally fast-forward this many instructions before timing
+    /// begins (skips warm-up phases such as workload data initialization;
+    /// the cache starts cold at the measurement point, as in sampled
+    /// simulation).
+    pub warmup_insts: u64,
+    /// Stop after this many committed instructions (`u64::MAX` = run to
+    /// `halt`).
+    pub max_insts: u64,
+    /// Front-end model: perfect branch prediction (the paper's Table 1)
+    /// or a real predictor with misprediction stalls.
+    pub front_end: FrontEnd,
+}
+
+impl Default for CpuConfig {
+    fn default() -> Self {
+        Self {
+            fetch_width: 64,
+            issue_width: 64,
+            commit_width: 64,
+            ruu_size: 1024,
+            lsq_size: 512,
+            int_alu_units: 64,
+            int_mult_units: 64,
+            int_div_units: 64,
+            fp_add_units: 64,
+            fp_mult_units: 64,
+            fp_div_units: 64,
+            ls_units: 64,
+            warmup_insts: 0,
+            max_insts: u64::MAX,
+            front_end: FrontEnd::Perfect,
+        }
+    }
+}
+
+impl CpuConfig {
+    /// A configuration capped at `max_insts` committed instructions,
+    /// otherwise Table-1 defaults. Every experiment harness uses this to
+    /// scale run length.
+    pub fn with_max_insts(max_insts: u64) -> Self {
+        Self {
+            max_insts,
+            ..Self::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_table1() {
+        let c = CpuConfig::default();
+        assert_eq!(c.issue_width, 64);
+        assert_eq!(c.commit_width, 64);
+        assert_eq!(c.int_alu_units, 64);
+        assert_eq!(c.fp_div_units, 64);
+        assert_eq!(c.ls_units, 64);
+        assert_eq!(c.max_insts, u64::MAX);
+        assert_eq!(c.front_end, FrontEnd::Perfect);
+    }
+
+    #[test]
+    fn with_max_insts_caps_run() {
+        let c = CpuConfig::with_max_insts(1000);
+        assert_eq!(c.max_insts, 1000);
+        assert_eq!(c.ruu_size, 1024);
+    }
+}

@@ -1,0 +1,71 @@
+//! Dynamic instruction records produced by the functional emulator.
+
+use hbdc_isa::Inst;
+
+/// One committed dynamic instruction: the static instruction plus the
+/// run-time facts the timing model needs (sequence number and, for memory
+/// operations, the effective address).
+///
+/// Because the simulated machine has perfect branch prediction and "does
+/// not speculate" (paper §2.2), the timing model consumes exactly this
+/// committed stream — there is no wrong-path work to model.
+///
+/// # Examples
+///
+/// ```
+/// use hbdc_cpu::DynInst;
+/// use hbdc_isa::{Inst, Reg, Width};
+///
+/// let di = DynInst {
+///     seq: 0,
+///     pc: 4,
+///     inst: Inst::Load { width: Width::Word, rd: Reg::new(1), base: Reg::new(2), offset: 0 },
+///     addr: Some(0x1000_0000),
+///     taken: None,
+/// };
+/// assert!(di.inst.is_load());
+/// assert_eq!(di.addr, Some(0x1000_0000));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DynInst {
+    /// Global dynamic sequence number (0-based, program order).
+    pub seq: u64,
+    /// The static instruction's index in the program text.
+    pub pc: u32,
+    /// The instruction itself.
+    pub inst: Inst,
+    /// Effective address for loads/stores, `None` otherwise.
+    pub addr: Option<u64>,
+    /// For conditional branches, whether the branch was taken.
+    pub taken: Option<bool>,
+}
+
+impl DynInst {
+    /// The effective address of a memory instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this is not a memory instruction.
+    pub fn mem_addr(&self) -> u64 {
+        self.addr.expect("mem_addr on non-memory instruction")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hbdc_isa::Inst;
+
+    #[test]
+    #[should_panic(expected = "non-memory")]
+    fn mem_addr_panics_on_alu() {
+        let di = DynInst {
+            seq: 0,
+            pc: 0,
+            inst: Inst::Nop,
+            addr: None,
+            taken: None,
+        };
+        di.mem_addr();
+    }
+}

@@ -1,0 +1,435 @@
+//! The load/store queue: memory ordering, forwarding, and the per-cycle
+//! ready list.
+
+use std::collections::VecDeque;
+
+/// One memory reference that is ready to access the cache this cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheReady {
+    /// RUU sequence number.
+    pub seq: u64,
+    /// Effective address.
+    pub addr: u64,
+    /// Whether this is a store.
+    pub is_store: bool,
+}
+
+/// Why loads failed to join a cycle's ready list (diagnostic counters).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LsqStalls {
+    /// Load's own address not yet computed.
+    pub addr_unknown: u64,
+    /// Some older store's address is still unknown.
+    pub prior_store_addr: u64,
+    /// Older store overlaps (partially, or data pending): must wait.
+    pub store_overlap: u64,
+}
+
+/// The per-cycle classification of LSQ entries.
+#[derive(Debug, Clone, Default)]
+pub struct ReadyRefs {
+    /// References that must access the cache, in age order.
+    pub cache: Vec<CacheReady>,
+    /// Loads serviceable by store-to-load forwarding (paper §2.1: "loads
+    /// to same address as an earlier store in the LSQ can be serviced with
+    /// zero latency"); they never reach the cache structure.
+    pub forwards: Vec<u64>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct LsqEntry {
+    seq: u64,
+    addr: u64,
+    width: u64,
+    is_store: bool,
+    addr_known: bool,
+    /// Stores: the value to be written is available (loads: always true).
+    data_known: bool,
+    issued: bool,
+}
+
+/// The load/store queue (paper Table 1: 512 entries): an address reorder
+/// buffer holding all in-flight memory instructions in program order.
+///
+/// Ordering rules implemented (paper §2.1):
+/// * a load may execute only when **all prior store addresses are known**;
+/// * a load whose address exactly matches an earlier store (and fits
+///   within its width) **forwards** and never accesses the cache;
+/// * a load that *partially* overlaps an earlier store waits until that
+///   store leaves the queue (conservative, as in SimpleScalar);
+/// * a load that exactly matches a store whose *data* is not yet
+///   produced waits for that data;
+/// * stores access the cache **at commit** — here, once every older
+///   instruction has completed (`oldest_not_done` gate).
+///
+/// # Examples
+///
+/// ```
+/// use hbdc_cpu::Lsq;
+///
+/// let mut lsq = Lsq::new(4);
+/// lsq.dispatch(0, 0x100, 4, true);  // store
+/// lsq.dispatch(1, 0x100, 4, false); // load, same address
+/// lsq.mark_addr_known(0);
+/// lsq.mark_data_known(0);
+/// lsq.mark_addr_known(1);
+/// let ready = lsq.collect_ready(0); // nothing older is complete yet
+/// assert_eq!(ready.forwards, vec![1]); // the load forwards
+/// assert!(ready.cache.is_empty());     // the store waits for commit
+/// ```
+#[derive(Debug, Clone)]
+pub struct Lsq {
+    entries: VecDeque<LsqEntry>,
+    capacity: usize,
+    forwards: u64,
+    stalls: LsqStalls,
+}
+
+impl Lsq {
+    /// Creates an empty queue with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "LSQ needs at least one entry");
+        Self {
+            entries: VecDeque::with_capacity(capacity),
+            capacity,
+            forwards: 0,
+            stalls: LsqStalls::default(),
+        }
+    }
+
+    /// Whether another memory instruction can be dispatched.
+    pub fn has_space(&self) -> bool {
+        self.entries.len() < self.capacity
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total store-to-load forwards so far.
+    pub fn forwards(&self) -> u64 {
+        self.forwards
+    }
+
+    /// Cumulative per-cycle load-stall diagnostics.
+    pub fn stalls(&self) -> LsqStalls {
+        self.stalls
+    }
+
+    fn find(&self, seq: u64) -> usize {
+        self.entries
+            .binary_search_by_key(&seq, |e| e.seq)
+            .expect("seq not in LSQ")
+    }
+
+    /// Appends a memory instruction in program order. The effective
+    /// address is known functionally up front (oracle), but is not
+    /// *architecturally* known until [`mark_addr_known`](Self::mark_addr_known).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue is full or `seq` is not increasing.
+    pub fn dispatch(&mut self, seq: u64, addr: u64, width: u64, is_store: bool) {
+        assert!(self.has_space(), "dispatch into full LSQ");
+        if let Some(back) = self.entries.back() {
+            assert!(back.seq < seq, "LSQ dispatch out of order");
+        }
+        self.entries.push_back(LsqEntry {
+            seq,
+            addr,
+            width,
+            is_store,
+            addr_known: false,
+            data_known: !is_store,
+            issued: false,
+        });
+    }
+
+    /// Records that `seq`'s effective address has been computed.
+    pub fn mark_addr_known(&mut self, seq: u64) {
+        let i = self.find(seq);
+        self.entries[i].addr_known = true;
+    }
+
+    /// Records that a store's data operand has been produced.
+    pub fn mark_data_known(&mut self, seq: u64) {
+        let i = self.find(seq);
+        debug_assert!(self.entries[i].is_store);
+        self.entries[i].data_known = true;
+    }
+
+    /// Records that `seq` has been granted its cache access.
+    pub fn mark_issued(&mut self, seq: u64) {
+        let i = self.find(seq);
+        self.entries[i].issued = true;
+    }
+
+    /// Records that a load was serviced by forwarding (also counts it).
+    pub fn mark_forwarded(&mut self, seq: u64) {
+        let i = self.find(seq);
+        debug_assert!(!self.entries[i].is_store);
+        self.entries[i].issued = true;
+        self.forwards += 1;
+    }
+
+    /// Removes the front entry, which must be `seq` (called at commit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the front entry is not `seq`.
+    pub fn retire(&mut self, seq: u64) {
+        let front = self.entries.pop_front().expect("retire from empty LSQ");
+        assert_eq!(front.seq, seq, "LSQ retire out of order");
+    }
+
+    /// Classifies entries into this cycle's ready sets.
+    ///
+    /// `oldest_not_done` is the RUU's completion frontier: stores older
+    /// than it (i.e. with every older instruction complete) may perform
+    /// their commit-time cache access.
+    pub fn collect_ready(&mut self, oldest_not_done: u64) -> ReadyRefs {
+        let mut out = ReadyRefs::default();
+        let mut prior_stores_known = true;
+        // Indices of older stores, for the backward overlap scan.
+        let mut store_idxs: Vec<usize> = Vec::new();
+
+        for (i, e) in self.entries.iter().enumerate() {
+            if e.is_store {
+                if e.addr_known && e.data_known && !e.issued && e.seq < oldest_not_done {
+                    out.cache.push(CacheReady {
+                        seq: e.seq,
+                        addr: e.addr,
+                        is_store: true,
+                    });
+                }
+                prior_stores_known &= e.addr_known;
+                store_idxs.push(i);
+                continue;
+            }
+            // Loads.
+            if e.issued {
+                continue;
+            }
+            if !e.addr_known {
+                self.stalls.addr_unknown += 1;
+                continue;
+            }
+            if !prior_stores_known {
+                self.stalls.prior_store_addr += 1;
+                continue;
+            }
+            let mut blocked = false;
+            let mut forward = false;
+            for &si in store_idxs.iter().rev() {
+                let s = &self.entries[si];
+                let overlap = e.addr < s.addr + s.width && s.addr < e.addr + e.width;
+                if !overlap {
+                    continue;
+                }
+                if s.addr == e.addr && e.width <= s.width && s.data_known {
+                    forward = true;
+                } else {
+                    blocked = true; // partial overlap or data not yet
+                                    // produced: wait for the store
+                }
+                break; // youngest overlapping store decides
+            }
+            if blocked {
+                self.stalls.store_overlap += 1;
+                continue;
+            }
+            if forward {
+                out.forwards.push(e.seq);
+            } else {
+                out.cache.push(CacheReady {
+                    seq: e.seq,
+                    addr: e.addr,
+                    is_store: false,
+                });
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_waits_for_prior_store_address() {
+        let mut lsq = Lsq::new(8);
+        lsq.dispatch(0, 0x100, 4, true);
+        lsq.dispatch(1, 0x200, 4, false);
+        lsq.mark_addr_known(1); // load address known, store's is not
+        let r = lsq.collect_ready(u64::MAX);
+        assert!(r.cache.iter().all(|c| c.seq != 1));
+        lsq.mark_addr_known(0);
+        let r = lsq.collect_ready(u64::MAX);
+        assert!(r.cache.iter().any(|c| c.seq == 1 && !c.is_store));
+    }
+
+    #[test]
+    fn exact_match_forwards() {
+        let mut lsq = Lsq::new(8);
+        lsq.dispatch(0, 0x100, 8, true);
+        lsq.dispatch(1, 0x100, 4, false); // narrower load within store
+        lsq.mark_addr_known(0);
+        lsq.mark_data_known(0);
+        lsq.mark_addr_known(1);
+        let r = lsq.collect_ready(0);
+        assert_eq!(r.forwards, vec![1]);
+    }
+
+    #[test]
+    fn partial_overlap_blocks() {
+        let mut lsq = Lsq::new(8);
+        lsq.dispatch(0, 0x100, 4, true);
+        lsq.dispatch(1, 0x102, 4, false); // straddles the store's end
+        lsq.mark_addr_known(0);
+        lsq.mark_addr_known(1);
+        let r = lsq.collect_ready(0);
+        assert!(r.forwards.is_empty());
+        assert!(r.cache.iter().all(|c| c.seq != 1));
+    }
+
+    #[test]
+    fn youngest_overlapping_store_wins() {
+        let mut lsq = Lsq::new(8);
+        lsq.dispatch(0, 0x100, 4, true); // older store, exact match
+        lsq.dispatch(1, 0x102, 4, true); // younger store, partial overlap
+        lsq.dispatch(2, 0x100, 4, false);
+        for s in 0..3 {
+            lsq.mark_addr_known(s);
+        }
+        // The *younger* store partially overlaps → the load is blocked
+        // even though an older store matches exactly.
+        let r = lsq.collect_ready(0);
+        assert!(r.forwards.is_empty());
+        assert!(r.cache.iter().all(|c| c.seq != 2));
+    }
+
+    #[test]
+    fn non_overlapping_store_does_not_interfere() {
+        let mut lsq = Lsq::new(8);
+        lsq.dispatch(0, 0x100, 4, true);
+        lsq.dispatch(1, 0x180, 4, false);
+        lsq.mark_addr_known(0);
+        lsq.mark_addr_known(1);
+        let r = lsq.collect_ready(0);
+        assert!(r.cache.iter().any(|c| c.seq == 1));
+    }
+
+    #[test]
+    fn store_gated_by_completion_frontier() {
+        let mut lsq = Lsq::new(8);
+        lsq.dispatch(5, 0x100, 4, true);
+        lsq.mark_addr_known(5);
+        lsq.mark_data_known(5);
+        assert!(lsq.collect_ready(3).cache.is_empty()); // older work pending
+        assert!(lsq.collect_ready(5).cache.is_empty()); // the store itself is the frontier
+        let r = lsq.collect_ready(6);
+        assert_eq!(
+            r.cache,
+            vec![CacheReady {
+                seq: 5,
+                addr: 0x100,
+                is_store: true
+            }]
+        );
+    }
+
+    #[test]
+    fn issued_entries_drop_out() {
+        let mut lsq = Lsq::new(8);
+        lsq.dispatch(0, 0x100, 4, false);
+        lsq.mark_addr_known(0);
+        lsq.mark_issued(0);
+        assert!(lsq.collect_ready(u64::MAX).cache.is_empty());
+    }
+
+    #[test]
+    fn forward_counter_increments() {
+        let mut lsq = Lsq::new(8);
+        lsq.dispatch(0, 0x100, 4, false);
+        lsq.mark_addr_known(0);
+        lsq.mark_forwarded(0);
+        assert_eq!(lsq.forwards(), 1);
+    }
+
+    #[test]
+    fn retire_pops_in_order() {
+        let mut lsq = Lsq::new(8);
+        lsq.dispatch(0, 0x100, 4, false);
+        lsq.dispatch(3, 0x200, 4, true);
+        lsq.retire(0);
+        assert_eq!(lsq.len(), 1);
+        lsq.retire(3);
+        assert!(lsq.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "retire out of order")]
+    fn out_of_order_retire_panics() {
+        let mut lsq = Lsq::new(8);
+        lsq.dispatch(0, 0x100, 4, false);
+        lsq.dispatch(1, 0x200, 4, false);
+        lsq.retire(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "full LSQ")]
+    fn overflow_panics() {
+        let mut lsq = Lsq::new(1);
+        lsq.dispatch(0, 0, 4, false);
+        lsq.dispatch(1, 8, 4, false);
+    }
+
+    #[test]
+    fn forward_waits_for_store_data() {
+        let mut lsq = Lsq::new(8);
+        lsq.dispatch(0, 0x100, 4, true);
+        lsq.dispatch(1, 0x100, 4, false);
+        lsq.mark_addr_known(0); // address known, data still pending
+        lsq.mark_addr_known(1);
+        let r = lsq.collect_ready(0);
+        assert!(r.forwards.is_empty());
+        assert!(r.cache.iter().all(|c| c.seq != 1));
+        lsq.mark_data_known(0);
+        assert_eq!(lsq.collect_ready(0).forwards, vec![1]);
+    }
+
+    #[test]
+    fn younger_load_passes_store_with_known_address() {
+        let mut lsq = Lsq::new(8);
+        lsq.dispatch(0, 0x100, 4, true);
+        lsq.dispatch(1, 0x200, 4, false); // disjoint younger load
+        lsq.mark_addr_known(0); // store data NOT yet known
+        lsq.mark_addr_known(1);
+        // The load may proceed: prior store *addresses* are known.
+        let r = lsq.collect_ready(0);
+        assert!(r.cache.iter().any(|c| c.seq == 1));
+    }
+
+    #[test]
+    fn ready_list_is_age_ordered() {
+        let mut lsq = Lsq::new(8);
+        for s in 0..4u64 {
+            lsq.dispatch(s, 0x1000 + s * 64, 4, false);
+            lsq.mark_addr_known(s);
+        }
+        let r = lsq.collect_ready(u64::MAX);
+        let seqs: Vec<u64> = r.cache.iter().map(|c| c.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2, 3]);
+    }
+}

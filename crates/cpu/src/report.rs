@@ -1,0 +1,166 @@
+//! End-of-run simulation report.
+
+/// The measurements produced by one [`Simulator`](crate::Simulator) run —
+/// a passive record of everything the paper's tables report.
+///
+/// # Examples
+///
+/// ```
+/// let r = hbdc_cpu::SimReport {
+///     committed: 300,
+///     cycles: 100,
+///     loads: 80,
+///     stores: 20,
+///     forwards: 5,
+///     l1_accesses: 95,
+///     l1_misses: 3,
+///     l1_writebacks: 1,
+///     l2_accesses: 4,
+///     l2_misses: 4,
+///     arb_offered: 120,
+///     arb_granted: 95,
+///     bank_conflicts: 10,
+///     combined: 15,
+///     store_serializations: 0,
+///     port_label: "LBIC-4x2".into(),
+/// };
+/// assert_eq!(r.ipc(), 3.0);
+/// assert!((r.mem_fraction() - 1.0 / 3.0).abs() < 1e-12);
+/// assert_eq!(r.store_to_load_ratio(), 0.25);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimReport {
+    /// Instructions committed.
+    pub committed: u64,
+    /// Cycles elapsed.
+    pub cycles: u64,
+    /// Loads committed.
+    pub loads: u64,
+    /// Stores committed.
+    pub stores: u64,
+    /// Loads serviced by store-to-load forwarding (never reached the cache).
+    pub forwards: u64,
+    /// L1 data-cache accesses.
+    pub l1_accesses: u64,
+    /// L1 data-cache misses.
+    pub l1_misses: u64,
+    /// L1 dirty-victim writebacks.
+    pub l1_writebacks: u64,
+    /// L2 accesses (L1 miss traffic).
+    pub l2_accesses: u64,
+    /// L2 misses (DRAM traffic).
+    pub l2_misses: u64,
+    /// References offered to the port model across all cycles.
+    pub arb_offered: u64,
+    /// References granted by the port model.
+    pub arb_granted: u64,
+    /// Bank conflicts (banked and LBIC models; 0 otherwise).
+    pub bank_conflicts: u64,
+    /// Same-line combined accesses (LBIC only; 0 otherwise).
+    pub combined: u64,
+    /// Cycles monopolized by a broadcast store (replicated model only).
+    pub store_serializations: u64,
+    /// Label of the port model under test, e.g. `"Bank-8"`.
+    pub port_label: String,
+}
+
+impl SimReport {
+    /// Instructions per cycle — the paper's headline metric.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.committed as f64 / self.cycles as f64
+        }
+    }
+
+    /// Fraction of committed instructions that are memory operations
+    /// (paper Table 2, "Mem Instr. %").
+    pub fn mem_fraction(&self) -> f64 {
+        if self.committed == 0 {
+            0.0
+        } else {
+            (self.loads + self.stores) as f64 / self.committed as f64
+        }
+    }
+
+    /// Stores per load (paper Table 2, "Store-to-Load Ratio").
+    pub fn store_to_load_ratio(&self) -> f64 {
+        if self.loads == 0 {
+            0.0
+        } else {
+            self.stores as f64 / self.loads as f64
+        }
+    }
+
+    /// L1 miss rate over actual cache accesses (paper Table 2, "L1 Miss
+    /// Rate").
+    pub fn l1_miss_rate(&self) -> f64 {
+        if self.l1_accesses == 0 {
+            0.0
+        } else {
+            self.l1_misses as f64 / self.l1_accesses as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SimReport {
+        SimReport {
+            committed: 1000,
+            cycles: 250,
+            loads: 200,
+            stores: 100,
+            forwards: 20,
+            l1_accesses: 280,
+            l1_misses: 14,
+            l1_writebacks: 3,
+            l2_accesses: 14,
+            l2_misses: 7,
+            arb_offered: 400,
+            arb_granted: 280,
+            bank_conflicts: 50,
+            combined: 30,
+            store_serializations: 0,
+            port_label: "Bank-4".into(),
+        }
+    }
+
+    #[test]
+    fn derived_metrics() {
+        let r = sample();
+        assert_eq!(r.ipc(), 4.0);
+        assert!((r.mem_fraction() - 0.3).abs() < 1e-12);
+        assert!((r.store_to_load_ratio() - 0.5).abs() < 1e-12);
+        assert!((r.l1_miss_rate() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_denominators_are_zero() {
+        let r = SimReport {
+            committed: 0,
+            cycles: 0,
+            loads: 0,
+            stores: 0,
+            forwards: 0,
+            l1_accesses: 0,
+            l1_misses: 0,
+            l1_writebacks: 0,
+            l2_accesses: 0,
+            l2_misses: 0,
+            arb_offered: 0,
+            arb_granted: 0,
+            bank_conflicts: 0,
+            combined: 0,
+            store_serializations: 0,
+            port_label: String::new(),
+        };
+        assert_eq!(r.ipc(), 0.0);
+        assert_eq!(r.mem_fraction(), 0.0);
+        assert_eq!(r.store_to_load_ratio(), 0.0);
+        assert_eq!(r.l1_miss_rate(), 0.0);
+    }
+}

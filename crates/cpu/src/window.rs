@@ -1,0 +1,535 @@
+//! The register update unit (RUU): a unified instruction window with
+//! dataflow wakeup.
+
+use std::cell::Cell;
+use std::cmp::Reverse;
+use std::collections::{BTreeSet, BinaryHeap, VecDeque};
+
+use hbdc_isa::ArchReg;
+
+use crate::dynamic::DynInst;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    /// Waiting for source operands.
+    Waiting,
+    /// All operands available; eligible for issue.
+    Ready,
+    /// Issued; result pending at `complete_at` (or an unknown future cycle
+    /// for loads awaiting a cache grant).
+    Issued,
+    /// Result produced; dependents woken.
+    Done,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Dependent {
+    seq: u64,
+    /// Whether this edge gates the consumer's *address* (store base
+    /// register) rather than only its execution.
+    addr: bool,
+}
+
+#[derive(Debug)]
+struct Entry {
+    di: DynInst,
+    state: State,
+    remaining_deps: u32,
+    /// Outstanding producers of the store's base register; when this
+    /// reaches zero the store's effective address is architecturally
+    /// known, which unblocks younger loads in the LSQ.
+    addr_deps: u32,
+    dependents: Vec<Dependent>,
+    access_done: bool, // stores: cache access performed (commit gate)
+}
+
+fn reg_slot(r: ArchReg) -> usize {
+    match r {
+        ArchReg::Int(r) => r.index(),
+        ArchReg::Fp(f) => 32 + f.index(),
+    }
+}
+
+/// The register update unit (Sohi \[21], as used by SimpleScalar): a
+/// program-ordered instruction window that tracks register dependences,
+/// wakes consumers as producers complete, and retires from the front in
+/// order.
+///
+/// The window is purely a *timing* structure — values live in the
+/// functional emulator. Dependences are derived from each instruction's
+/// architectural defs/uses at dispatch (equivalent to renaming, since the
+/// latest producer of each register is tracked).
+///
+/// # Examples
+///
+/// ```
+/// use hbdc_cpu::{DynInst, Window};
+/// use hbdc_isa::{AluOp, Inst, Reg};
+///
+/// let mut w = Window::new(8);
+/// let producer = DynInst {
+///     seq: 0, pc: 0, addr: None, taken: None,
+///     inst: Inst::AluImm { op: AluOp::Or, rd: Reg::new(1), rs: Reg::ZERO, imm: 5 },
+/// };
+/// let consumer = DynInst {
+///     seq: 1, pc: 1, addr: None, taken: None,
+///     inst: Inst::Alu { op: AluOp::Add, rd: Reg::new(2), rs: Reg::new(1), rt: Reg::new(1) },
+/// };
+/// w.dispatch(producer);
+/// w.dispatch(consumer);
+/// assert_eq!(w.ready_seqs(), vec![0]); // consumer waits on r1
+/// w.mark_issued(0, Some(1));
+/// w.advance_completions(1);
+/// assert_eq!(w.ready_seqs(), vec![1]); // woken
+/// ```
+#[derive(Debug)]
+pub struct Window {
+    entries: VecDeque<Entry>,
+    base_seq: u64,
+    capacity: usize,
+    producer: [Option<u64>; 64],
+    ready: BTreeSet<u64>,
+    completions: BinaryHeap<Reverse<(u64, u64)>>, // (complete_at, seq)
+    // Stores whose address became known since the last drain.
+    addr_ready: Vec<u64>,
+    // Monotone cache for `oldest_not_done` — the Done prefix only grows.
+    frontier_hint: Cell<u64>,
+}
+
+impl Window {
+    /// Creates an empty window with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "window needs at least one entry");
+        Self {
+            entries: VecDeque::with_capacity(capacity),
+            base_seq: 0,
+            capacity,
+            producer: [None; 64],
+            ready: BTreeSet::new(),
+            completions: BinaryHeap::new(),
+            addr_ready: Vec::new(),
+            frontier_hint: Cell::new(0),
+        }
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the window is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether the window has room for another instruction.
+    pub fn has_space(&self) -> bool {
+        self.entries.len() < self.capacity
+    }
+
+    fn idx(&self, seq: u64) -> usize {
+        debug_assert!(seq >= self.base_seq, "seq already committed");
+        (seq - self.base_seq) as usize
+    }
+
+    fn entry(&self, seq: u64) -> &Entry {
+        &self.entries[self.idx(seq)]
+    }
+
+    fn entry_mut(&mut self, seq: u64) -> &mut Entry {
+        let i = self.idx(seq);
+        &mut self.entries[i]
+    }
+
+    /// Dispatches the next instruction in program order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is full or `di.seq` is out of order.
+    pub fn dispatch(&mut self, di: DynInst) {
+        assert!(self.has_space(), "dispatch into full window");
+        let expected = self.base_seq + self.entries.len() as u64;
+        assert_eq!(di.seq, expected, "dispatch out of program order");
+
+        let is_store = di.inst.is_store();
+        let base = di.inst.mem_base().map(hbdc_isa::ArchReg::Int);
+        let mut remaining = 0u32;
+        let mut addr_deps = 0u32;
+        for u in di.inst.uses() {
+            if let Some(prod_seq) = self.producer[reg_slot(u)] {
+                if prod_seq >= self.base_seq {
+                    let prod = self.entry_mut(prod_seq);
+                    if prod.state != State::Done {
+                        let addr = is_store && Some(u) == base;
+                        prod.dependents.push(Dependent { seq: di.seq, addr });
+                        remaining += 1;
+                        if addr {
+                            addr_deps += 1;
+                        }
+                    }
+                }
+            }
+        }
+        if let Some(d) = di.inst.def() {
+            self.producer[reg_slot(d)] = Some(di.seq);
+        }
+        if is_store && addr_deps == 0 {
+            // Base register already available: address known at dispatch.
+            self.addr_ready.push(di.seq);
+        }
+        let state = if remaining == 0 {
+            self.ready.insert(di.seq);
+            State::Ready
+        } else {
+            State::Waiting
+        };
+        self.entries.push_back(Entry {
+            di,
+            state,
+            remaining_deps: remaining,
+            addr_deps,
+            dependents: Vec::new(),
+            access_done: false,
+        });
+    }
+
+    /// Drains the stores whose effective address has become
+    /// architecturally known since the last call (so the LSQ can unblock
+    /// younger loads).
+    pub fn take_addr_ready(&mut self) -> Vec<u64> {
+        std::mem::take(&mut self.addr_ready)
+    }
+
+    /// Sequence numbers currently ready to issue, oldest first.
+    pub fn ready_seqs(&self) -> Vec<u64> {
+        self.ready.iter().copied().collect()
+    }
+
+    /// The instruction record at `seq`.
+    pub fn inst(&self, seq: u64) -> &DynInst {
+        &self.entry(seq).di
+    }
+
+    /// Marks `seq` issued. `complete_at` is the cycle its result appears,
+    /// or `None` for loads whose completion awaits a cache grant (set
+    /// later with [`set_complete_at`](Self::set_complete_at)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the entry is not ready.
+    pub fn mark_issued(&mut self, seq: u64, complete_at: Option<u64>) {
+        assert!(self.ready.remove(&seq), "issue of non-ready entry");
+        self.entry_mut(seq).state = State::Issued;
+        if let Some(at) = complete_at {
+            self.completions.push(Reverse((at, seq)));
+        }
+    }
+
+    /// Schedules the completion of an already-issued entry (loads, once
+    /// the cache grants their access and the fill latency is known).
+    pub fn set_complete_at(&mut self, seq: u64, at: u64) {
+        debug_assert_eq!(self.entry(seq).state, State::Issued);
+        self.completions.push(Reverse((at, seq)));
+    }
+
+    /// Marks Done every issued entry whose completion time has arrived,
+    /// waking its dependents.
+    pub fn advance_completions(&mut self, now: u64) {
+        while let Some(&Reverse((at, seq))) = self.completions.peek() {
+            if at > now {
+                break;
+            }
+            self.completions.pop();
+            if seq < self.base_seq {
+                continue; // already committed (defensive)
+            }
+            let dependents = {
+                let e = self.entry_mut(seq);
+                debug_assert_eq!(e.state, State::Issued);
+                e.state = State::Done;
+                std::mem::take(&mut e.dependents)
+            };
+            for dep in dependents {
+                if dep.seq < self.base_seq {
+                    continue;
+                }
+                let e = self.entry_mut(dep.seq);
+                e.remaining_deps -= 1;
+                let addr_now_known = if dep.addr {
+                    e.addr_deps -= 1;
+                    e.addr_deps == 0
+                } else {
+                    false
+                };
+                let woken = e.remaining_deps == 0 && e.state == State::Waiting;
+                if woken {
+                    e.state = State::Ready;
+                }
+                if addr_now_known {
+                    self.addr_ready.push(dep.seq);
+                }
+                if woken {
+                    self.ready.insert(dep.seq);
+                }
+            }
+        }
+    }
+
+    /// Whether `seq` has produced its result.
+    pub fn is_done(&self, seq: u64) -> bool {
+        self.entry(seq).state == State::Done
+    }
+
+    /// Whether `seq` has produced its result *or already committed* —
+    /// safe to call for sequence numbers that may have left the window.
+    pub fn resolved(&self, seq: u64) -> bool {
+        seq < self.base_seq || self.is_done(seq)
+    }
+
+    /// Records that a store's commit-time cache access has been performed.
+    pub fn mark_access_done(&mut self, seq: u64) {
+        self.entry_mut(seq).access_done = true;
+    }
+
+    /// Whether a store's cache access has been performed.
+    pub fn access_done(&self, seq: u64) -> bool {
+        self.entry(seq).access_done
+    }
+
+    /// Sequence number of the oldest entry that is not yet Done; all
+    /// entries older than this are complete. Returns one past the youngest
+    /// entry when everything is Done (or the window is empty).
+    pub fn oldest_not_done(&self) -> u64 {
+        let start = self.frontier_hint.get().max(self.base_seq);
+        let mut i = (start - self.base_seq) as usize;
+        while i < self.entries.len() && self.entries[i].state == State::Done {
+            i += 1;
+        }
+        let frontier = self.base_seq + i as u64;
+        self.frontier_hint.set(frontier);
+        frontier
+    }
+
+    /// Counts entries by state: (waiting, ready, issued, done).
+    #[doc(hidden)]
+    pub fn state_census(&self) -> (usize, usize, usize, usize) {
+        let mut c = (0, 0, 0, 0);
+        for e in &self.entries {
+            match e.state {
+                State::Waiting => c.0 += 1,
+                State::Ready => c.1 += 1,
+                State::Issued => c.2 += 1,
+                State::Done => c.3 += 1,
+            }
+        }
+        c
+    }
+
+    /// Retires up to `max` instructions from the front, in order. An entry
+    /// retires if it is Done and, for stores, its cache access has been
+    /// performed. Returns the retired instructions.
+    pub fn commit(&mut self, max: u32) -> Vec<DynInst> {
+        let mut out = Vec::new();
+        while out.len() < max as usize {
+            match self.entries.front() {
+                Some(e) if e.state == State::Done => {
+                    if e.di.inst.is_store() && !e.access_done {
+                        break;
+                    }
+                    let e = self.entries.pop_front().expect("front checked");
+                    self.base_seq += 1;
+                    out.push(e.di);
+                }
+                _ => break,
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hbdc_isa::{AluOp, Inst, Reg, Width};
+
+    fn alu(seq: u64, rd: u8, rs: u8, rt: u8) -> DynInst {
+        DynInst {
+            seq,
+            pc: seq as u32,
+            addr: None,
+            taken: None,
+            inst: Inst::Alu {
+                op: AluOp::Add,
+                rd: Reg::new(rd),
+                rs: Reg::new(rs),
+                rt: Reg::new(rt),
+            },
+        }
+    }
+
+    fn store(seq: u64, addr: u64) -> DynInst {
+        DynInst {
+            seq,
+            pc: seq as u32,
+            addr: Some(addr),
+            taken: None,
+            inst: Inst::Store {
+                width: Width::Word,
+                rs: Reg::new(1),
+                base: Reg::new(2),
+                offset: 0,
+            },
+        }
+    }
+
+    #[test]
+    fn independent_instructions_all_ready() {
+        let mut w = Window::new(4);
+        w.dispatch(alu(0, 1, 0, 0));
+        w.dispatch(alu(1, 2, 0, 0));
+        assert_eq!(w.ready_seqs(), vec![0, 1]);
+    }
+
+    #[test]
+    fn dependent_wakes_after_producer_completes() {
+        let mut w = Window::new(4);
+        w.dispatch(alu(0, 1, 0, 0)); // r1 = ...
+        w.dispatch(alu(1, 2, 1, 0)); // r2 = r1 + ...
+        assert_eq!(w.ready_seqs(), vec![0]);
+        w.mark_issued(0, Some(3));
+        w.advance_completions(2);
+        assert_eq!(w.ready_seqs(), Vec::<u64>::new());
+        w.advance_completions(3);
+        assert_eq!(w.ready_seqs(), vec![1]);
+    }
+
+    #[test]
+    fn chain_of_three() {
+        let mut w = Window::new(8);
+        w.dispatch(alu(0, 1, 0, 0));
+        w.dispatch(alu(1, 2, 1, 0));
+        w.dispatch(alu(2, 3, 2, 1)); // depends on both r2 and r1
+        w.mark_issued(0, Some(1));
+        w.advance_completions(1);
+        assert_eq!(w.ready_seqs(), vec![1]);
+        w.mark_issued(1, Some(2));
+        w.advance_completions(2);
+        assert_eq!(w.ready_seqs(), vec![2]);
+    }
+
+    #[test]
+    fn anti_dependence_does_not_block() {
+        // Write-after-read: consumer of old r1 dispatched after a new
+        // producer of r1 must depend on the *latest prior* producer only.
+        let mut w = Window::new(8);
+        w.dispatch(alu(0, 1, 0, 0)); // r1 = v0
+        w.dispatch(alu(1, 1, 0, 0)); // r1 = v1 (overwrites)
+        w.dispatch(alu(2, 3, 1, 0)); // reads r1 → depends on seq 1 only
+        w.mark_issued(1, Some(1));
+        w.mark_issued(0, Some(99)); // old producer finishes late
+        w.advance_completions(1);
+        assert_eq!(w.ready_seqs(), vec![2]);
+    }
+
+    #[test]
+    fn commit_is_in_order_and_gated() {
+        let mut w = Window::new(8);
+        w.dispatch(alu(0, 1, 0, 0));
+        w.dispatch(alu(1, 2, 0, 0));
+        w.mark_issued(1, Some(1));
+        w.advance_completions(1);
+        // Younger is done, older is not: nothing commits.
+        assert!(w.commit(4).is_empty());
+        w.mark_issued(0, Some(2));
+        w.advance_completions(2);
+        let retired = w.commit(4);
+        assert_eq!(retired.len(), 2);
+        assert_eq!(retired[0].seq, 0);
+        assert_eq!(retired[1].seq, 1);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn store_commit_requires_access_done() {
+        let mut w = Window::new(8);
+        w.dispatch(store(0, 0x100));
+        w.mark_issued(0, Some(1));
+        w.advance_completions(1);
+        assert!(w.commit(1).is_empty()); // access not yet performed
+        w.mark_access_done(0);
+        assert_eq!(w.commit(1).len(), 1);
+    }
+
+    #[test]
+    fn oldest_not_done_tracks_frontier() {
+        let mut w = Window::new(8);
+        w.dispatch(alu(0, 1, 0, 0));
+        w.dispatch(alu(1, 2, 0, 0));
+        assert_eq!(w.oldest_not_done(), 0);
+        w.mark_issued(0, Some(1));
+        w.advance_completions(1);
+        assert_eq!(w.oldest_not_done(), 1);
+        w.mark_issued(1, Some(2));
+        w.advance_completions(2);
+        assert_eq!(w.oldest_not_done(), 2);
+    }
+
+    #[test]
+    fn commit_width_respected() {
+        let mut w = Window::new(8);
+        for s in 0..4 {
+            w.dispatch(alu(s, 1 + (s as u8 % 3), 0, 0));
+        }
+        for s in 0..4 {
+            w.mark_issued(s, Some(1));
+        }
+        w.advance_completions(1);
+        assert_eq!(w.commit(2).len(), 2);
+        assert_eq!(w.commit(2).len(), 2);
+    }
+
+    #[test]
+    fn load_pending_completion_via_set_complete_at() {
+        let mut w = Window::new(8);
+        let ld = DynInst {
+            seq: 0,
+            pc: 0,
+            addr: Some(0x40),
+            taken: None,
+            inst: Inst::Load {
+                width: Width::Word,
+                rd: Reg::new(1),
+                base: Reg::new(2),
+                offset: 0,
+            },
+        };
+        w.dispatch(ld);
+        w.dispatch(alu(1, 2, 1, 0)); // uses the loaded r1
+        w.mark_issued(0, None); // completion unknown until grant
+        w.advance_completions(100);
+        assert!(!w.is_done(0));
+        w.set_complete_at(0, 101);
+        w.advance_completions(101);
+        assert!(w.is_done(0));
+        assert_eq!(w.ready_seqs(), vec![1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "full window")]
+    fn overfull_dispatch_panics() {
+        let mut w = Window::new(1);
+        w.dispatch(alu(0, 1, 0, 0));
+        w.dispatch(alu(1, 2, 0, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of program order")]
+    fn out_of_order_dispatch_panics() {
+        let mut w = Window::new(4);
+        w.dispatch(alu(1, 1, 0, 0));
+    }
+}

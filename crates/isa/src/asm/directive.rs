@@ -1,0 +1,230 @@
+//! Data-section directives: sizing (pass 1) and emission (pass 2).
+
+use crate::error::AsmError;
+
+use super::operand::parse_imm;
+use super::split_operands;
+
+/// The growing initialized-data image built during pass 2.
+#[derive(Debug, Default)]
+pub(crate) struct DataImage {
+    bytes: Vec<u8>,
+}
+
+/// Splits a directive body like `.word 1, 2` into `(name, args)` where args
+/// are comma-separated. String arguments (for `.asciiz`) must not contain
+/// commas; the workloads in this repository do not need them to.
+fn directive_parts(body: &str) -> (String, Vec<&str>) {
+    let stripped = body.trim().strip_prefix('.').unwrap_or(body);
+    let (name, args) = split_operands(stripped);
+    (name.to_ascii_lowercase(), args)
+}
+
+fn align_up(len: u64, align: u64) -> u64 {
+    debug_assert!(align.is_power_of_two());
+    (len + align - 1) & !(align - 1)
+}
+
+/// Pass-1 sizing: returns the data length after applying `body` at `len`.
+pub(crate) fn sized(body: &str, len: u64, line: u32) -> Result<u64, AsmError> {
+    let (name, args) = directive_parts(body);
+    Ok(match name.as_str() {
+        "byte" => len + args.len() as u64,
+        "half" => align_up(len, 2) + 2 * args.len() as u64,
+        "word" => align_up(len, 4) + 4 * args.len() as u64,
+        "dword" => align_up(len, 8) + 8 * args.len() as u64,
+        "double" => align_up(len, 8) + 8 * args.len() as u64,
+        "space" => {
+            let n = single_count(&args, "space", line)?;
+            len + n
+        }
+        "align" => {
+            let n = single_count(&args, "align", line)?;
+            if n > 16 {
+                return Err(AsmError::new(line, "alignment exponent too large"));
+            }
+            align_up(len, 1 << n)
+        }
+        "asciiz" => {
+            let s = string_arg(body, line)?;
+            len + s.len() as u64 + 1
+        }
+        other => {
+            return Err(AsmError::new(line, format!("unknown directive `.{other}`")));
+        }
+    })
+}
+
+fn single_count(args: &[&str], name: &str, line: u32) -> Result<u64, AsmError> {
+    if args.len() != 1 {
+        return Err(AsmError::new(
+            line,
+            format!("`.{name}` expects one argument"),
+        ));
+    }
+    let v = parse_imm(args[0], line)?;
+    u64::try_from(v).map_err(|_| AsmError::new(line, format!("`.{name}` argument must be >= 0")))
+}
+
+fn string_arg(body: &str, line: u32) -> Result<String, AsmError> {
+    let open = body
+        .find('"')
+        .ok_or_else(|| AsmError::new(line, "`.asciiz` expects a quoted string"))?;
+    let close = body
+        .rfind('"')
+        .filter(|&c| c > open)
+        .ok_or_else(|| AsmError::new(line, "unterminated string"))?;
+    Ok(body[open + 1..close].to_string())
+}
+
+impl DataImage {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    pub(crate) fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+
+    fn pad_to(&mut self, align: u64) {
+        let target = align_up(self.bytes.len() as u64, align) as usize;
+        self.bytes.resize(target, 0);
+    }
+
+    /// Pass-2 emission: appends the bytes described by `body`.
+    pub(crate) fn emit(&mut self, body: &str, line: u32) -> Result<(), AsmError> {
+        let (name, args) = directive_parts(body);
+        match name.as_str() {
+            "byte" => {
+                for a in args {
+                    let v = parse_imm(a, line)?;
+                    self.bytes.push(v as u8);
+                }
+            }
+            "half" => {
+                self.pad_to(2);
+                for a in args {
+                    let v = parse_imm(a, line)?;
+                    self.bytes.extend_from_slice(&(v as i16).to_le_bytes());
+                }
+            }
+            "word" => {
+                self.pad_to(4);
+                for a in args {
+                    let v = parse_imm(a, line)?;
+                    self.bytes.extend_from_slice(&(v as i32).to_le_bytes());
+                }
+            }
+            "dword" => {
+                self.pad_to(8);
+                for a in args {
+                    let v = parse_imm(a, line)?;
+                    self.bytes.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+            "double" => {
+                self.pad_to(8);
+                for a in args {
+                    let v: f64 = a
+                        .parse()
+                        .map_err(|_| AsmError::new(line, format!("bad double `{a}`")))?;
+                    self.bytes.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+            "space" => {
+                let n = single_count(&args, "space", line)?;
+                self.bytes.resize(self.bytes.len() + n as usize, 0);
+            }
+            "align" => {
+                let n = single_count(&args, "align", line)?;
+                self.pad_to(1 << n);
+            }
+            "asciiz" => {
+                let s = string_arg(body, line)?;
+                self.bytes.extend_from_slice(s.as_bytes());
+                self.bytes.push(0);
+            }
+            other => {
+                return Err(AsmError::new(line, format!("unknown directive `.{other}`")));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn emit_all(bodies: &[&str]) -> Vec<u8> {
+        let mut img = DataImage::new();
+        let mut len = 0;
+        for (i, b) in bodies.iter().enumerate() {
+            len = sized(b, len, i as u32 + 1).unwrap();
+            img.emit(b, i as u32 + 1).unwrap();
+            assert_eq!(img.len() as u64, len, "sizing disagrees with emission");
+        }
+        img.into_bytes()
+    }
+
+    #[test]
+    fn word_emission_little_endian() {
+        let b = emit_all(&[".word 1, -1"]);
+        assert_eq!(b, vec![1, 0, 0, 0, 0xff, 0xff, 0xff, 0xff]);
+    }
+
+    #[test]
+    fn alignment_padding_matches_sizing() {
+        let b = emit_all(&[".byte 7", ".word 5"]);
+        assert_eq!(b.len(), 8);
+        assert_eq!(&b[4..8], &5i32.to_le_bytes());
+    }
+
+    #[test]
+    fn double_round_trips() {
+        let b = emit_all(&[".double 1.5, -2.25"]);
+        assert_eq!(f64::from_le_bytes(b[0..8].try_into().unwrap()), 1.5);
+        assert_eq!(f64::from_le_bytes(b[8..16].try_into().unwrap()), -2.25);
+    }
+
+    #[test]
+    fn space_zero_fills() {
+        let b = emit_all(&[".byte 1", ".space 3", ".byte 2"]);
+        assert_eq!(b, vec![1, 0, 0, 0, 2]);
+    }
+
+    #[test]
+    fn align_directive() {
+        let b = emit_all(&[".byte 1", ".align 3", ".byte 2"]);
+        assert_eq!(b.len(), 9);
+        assert_eq!(b[8], 2);
+    }
+
+    #[test]
+    fn asciiz_appends_nul() {
+        let b = emit_all(&[".asciiz \"hi\""]);
+        assert_eq!(b, vec![b'h', b'i', 0]);
+    }
+
+    #[test]
+    fn unknown_directive_errors() {
+        assert!(sized(".bogus 1", 0, 3).is_err());
+        let mut img = DataImage::new();
+        assert!(img.emit(".bogus 1", 3).is_err());
+    }
+
+    #[test]
+    fn negative_space_errors() {
+        assert!(sized(".space -4", 0, 1).is_err());
+    }
+
+    #[test]
+    fn dword_emission() {
+        let b = emit_all(&[".dword -1"]);
+        assert_eq!(b, vec![0xff; 8]);
+    }
+}

@@ -1,0 +1,74 @@
+//! Assembler error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// An error produced while assembling micro-ISA source text.
+///
+/// Carries the 1-based source line number and a description of the problem.
+///
+/// # Examples
+///
+/// ```
+/// use hbdc_isa::asm::assemble;
+///
+/// let err = assemble(".text\n  bogus r1, r2\n").unwrap_err();
+/// assert_eq!(err.line(), 2);
+/// assert!(err.to_string().contains("bogus"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    line: u32,
+    message: String,
+}
+
+impl AsmError {
+    /// Creates an error at the given 1-based source line.
+    pub fn new(line: u32, message: impl Into<String>) -> Self {
+        Self {
+            line,
+            message: message.into(),
+        }
+    }
+
+    /// The 1-based source line the error occurred on (0 if not line-specific).
+    pub fn line(&self) -> u32 {
+        self.line
+    }
+
+    /// The error description.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "assembly error: {}", self.message)
+        } else {
+            write!(f, "assembly error at line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl Error for AsmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_line() {
+        let e = AsmError::new(7, "unknown mnemonic `frob`");
+        assert_eq!(e.line(), 7);
+        assert!(e.to_string().contains("line 7"));
+        assert!(e.to_string().contains("frob"));
+    }
+
+    #[test]
+    fn display_without_line() {
+        let e = AsmError::new(0, "no .text section");
+        assert!(!e.to_string().contains("line"));
+    }
+}

@@ -1,0 +1,31 @@
+//! Default address-space layout for assembled programs.
+//!
+//! The micro-ISA uses a flat 64-bit byte-addressable space. PCs are
+//! instruction indices into [`crate::Program::text`] and do not occupy the
+//! data address space; only data addresses flow through the cache models.
+
+/// Base virtual address of the `.data` section.
+pub const DATA_BASE: u64 = 0x1000_0000;
+
+/// Base virtual address of the heap region.
+///
+/// Workload kernels that synthesize their own data structures at run time
+/// (rather than via `.data` directives) allocate upward from here.
+pub const HEAP_BASE: u64 = 0x2000_0000;
+
+/// Initial stack pointer. The stack grows downward from this address.
+pub const STACK_TOP: u64 = 0x7fff_0000;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_are_disjoint_and_ordered() {
+        let bases = [DATA_BASE, HEAP_BASE, STACK_TOP];
+        assert!(bases.windows(2).all(|w| w[0] < w[1]));
+        // All bases are page aligned (and so line aligned for any
+        // plausible line size).
+        assert!(bases.iter().all(|b| b % 4096 == 0));
+    }
+}

@@ -1,0 +1,148 @@
+//! Architectural register names.
+
+use std::fmt;
+
+/// Number of integer registers (and, independently, FP registers).
+pub const NUM_REGS: usize = 32;
+
+/// An integer architectural register, `r0` through `r31`.
+///
+/// `r0` is hardwired to zero: writes to it are discarded by the emulator,
+/// reads always return 0. By convention (mirrored in the assembler's
+/// register aliases) `r29` is the stack pointer `sp` and `r31` the link
+/// register `ra`.
+///
+/// # Examples
+///
+/// ```
+/// use hbdc_isa::Reg;
+///
+/// let sp = Reg::new(29);
+/// assert_eq!(sp.index(), 29);
+/// assert_eq!(sp.to_string(), "r29");
+/// assert!(Reg::ZERO.is_zero());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// The hardwired-zero register `r0`.
+    pub const ZERO: Reg = Reg(0);
+    /// The conventional stack pointer, `r29`.
+    pub const SP: Reg = Reg(29);
+    /// The conventional frame pointer, `r30`.
+    pub const FP: Reg = Reg(30);
+    /// The conventional link register, `r31`.
+    pub const RA: Reg = Reg(31);
+
+    /// Creates a register from its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 32`.
+    pub fn new(index: u8) -> Self {
+        assert!(
+            (index as usize) < NUM_REGS,
+            "integer register out of range: {index}"
+        );
+        Reg(index)
+    }
+
+    /// The register's index, `0..32`.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Whether this is the hardwired-zero register.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// A floating-point architectural register, `f0` through `f31`.
+///
+/// All FP registers hold a 64-bit IEEE double; single-precision loads
+/// convert on the way in, mirroring how the study treats all FP data as
+/// double words.
+///
+/// # Examples
+///
+/// ```
+/// use hbdc_isa::FReg;
+///
+/// let f2 = FReg::new(2);
+/// assert_eq!(f2.index(), 2);
+/// assert_eq!(f2.to_string(), "f2");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FReg(u8);
+
+impl FReg {
+    /// Creates an FP register from its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 32`.
+    pub fn new(index: u8) -> Self {
+        assert!(
+            (index as usize) < NUM_REGS,
+            "fp register out of range: {index}"
+        );
+        FReg(index)
+    }
+
+    /// The register's index, `0..32`.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for FReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reg_roundtrip() {
+        for i in 0..32u8 {
+            assert_eq!(Reg::new(i).index(), i as usize);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn reg_out_of_range_panics() {
+        Reg::new(32);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn freg_out_of_range_panics() {
+        FReg::new(99);
+    }
+
+    #[test]
+    fn zero_register_identity() {
+        assert!(Reg::ZERO.is_zero());
+        assert!(!Reg::SP.is_zero());
+        assert_eq!(Reg::RA.index(), 31);
+        assert_eq!(Reg::SP.index(), 29);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Reg::new(7).to_string(), "r7");
+        assert_eq!(FReg::new(31).to_string(), "f31");
+    }
+}

@@ -1,0 +1,361 @@
+//! The L1 → L2 → DRAM timing model (paper Table 1).
+
+use crate::geometry::CacheGeometry;
+use crate::mshr::{MshrFile, MshrOutcome};
+use crate::stats::CacheStats;
+use crate::tagarray::{LookupResult, TagArray};
+
+/// Configuration of the two-level data-memory hierarchy.
+///
+/// The default matches the paper's Table 1: a 32KB direct-mapped
+/// write-back write-allocate L1 with 32-byte lines and a 1-cycle hit, a
+/// 512KB 4-way L2 with 64-byte lines and a 4-cycle access (fully
+/// pipelined, up to 64 pending), and a 10-cycle main memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HierarchyConfig {
+    /// L1 capacity in bytes.
+    pub l1_size: u64,
+    /// L1 line size in bytes.
+    pub l1_line: u64,
+    /// L1 associativity.
+    pub l1_assoc: u32,
+    /// L1 hit latency in cycles.
+    pub l1_hit_latency: u64,
+    /// L2 capacity in bytes.
+    pub l2_size: u64,
+    /// L2 line size in bytes.
+    pub l2_line: u64,
+    /// L2 associativity.
+    pub l2_assoc: u32,
+    /// L2 access latency in cycles.
+    pub l2_latency: u64,
+    /// Main-memory access latency in cycles.
+    pub mem_latency: u64,
+    /// Number of L1 MSHRs (bound on outstanding misses).
+    pub mshr_entries: usize,
+}
+
+impl Default for HierarchyConfig {
+    fn default() -> Self {
+        Self {
+            l1_size: 32 * 1024,
+            l1_line: 32,
+            l1_assoc: 1,
+            l1_hit_latency: 1,
+            l2_size: 512 * 1024,
+            l2_line: 64,
+            l2_assoc: 4,
+            l2_latency: 4,
+            mem_latency: 10,
+            mshr_entries: 64,
+        }
+    }
+}
+
+/// The timing outcome of one data-cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessOutcome {
+    /// Whether the access hit in the L1 (including hits on lines whose
+    /// fill is still in flight — those report `l1_hit = false` only on the
+    /// access that initiated the miss).
+    pub l1_hit: bool,
+    /// The cycle at which the data is available (loads) or the store is
+    /// absorbed.
+    pub ready_at: u64,
+    /// The access was rejected because every MSHR is busy; the requester
+    /// must retry on a later cycle. No state was modified.
+    pub rejected: bool,
+}
+
+/// A non-blocking two-level data-memory hierarchy, tag-only.
+///
+/// Fills update the tag arrays immediately while the [`MshrFile`] carries
+/// the outstanding-miss latency, so secondary accesses to an in-flight
+/// line merge (they see a tag hit whose `ready_at` is the fill completion).
+/// Dirty-victim writebacks are modelled as counted, latency-free events —
+/// the paper's store-queue/writeback-buffer assumption.
+///
+/// # Examples
+///
+/// ```
+/// use hbdc_mem::{Hierarchy, HierarchyConfig};
+///
+/// let mut h = Hierarchy::new(HierarchyConfig::default());
+/// let a = h.access(0x2000_0000, false, 0);
+/// assert!(!a.l1_hit);
+/// assert_eq!(a.ready_at, 15); // 1 (L1) + 4 (L2 miss probe) + 10 (DRAM)
+/// let b = h.access(0x2000_0008, false, 1); // merges with in-flight fill
+/// assert!(b.l1_hit);
+/// assert_eq!(b.ready_at, 15);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Hierarchy {
+    cfg: HierarchyConfig,
+    l1: TagArray,
+    l2: TagArray,
+    mshrs: MshrFile,
+    l1_stats: CacheStats,
+    l2_stats: CacheStats,
+    mem_writebacks: u64,
+}
+
+impl Hierarchy {
+    /// Creates a cold hierarchy.
+    pub fn new(cfg: HierarchyConfig) -> Self {
+        Self {
+            l1: TagArray::new(CacheGeometry::new(cfg.l1_size, cfg.l1_line, cfg.l1_assoc)),
+            l2: TagArray::new(CacheGeometry::new(cfg.l2_size, cfg.l2_line, cfg.l2_assoc)),
+            mshrs: MshrFile::new(cfg.mshr_entries),
+            cfg,
+            l1_stats: CacheStats::new("dl1"),
+            l2_stats: CacheStats::new("l2"),
+            mem_writebacks: 0,
+        }
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &HierarchyConfig {
+        &self.cfg
+    }
+
+    /// L1 geometry (used by port models for line/bank decomposition).
+    pub fn l1_geometry(&self) -> &CacheGeometry {
+        self.l1.geometry()
+    }
+
+    /// Performs one access at cycle `now` and returns its timing.
+    pub fn access(&mut self, addr: u64, is_store: bool, now: u64) -> AccessOutcome {
+        self.mshrs.retire_completed(now);
+        let line = self.l1.geometry().line_addr(addr);
+
+        if self.l1.lookup(addr, is_store) == LookupResult::Hit {
+            // Present — but the fill may still be in flight.
+            let ready_at = match self.mshrs.ready_at(line) {
+                Some(t) => t.max(now + self.cfg.l1_hit_latency),
+                None => now + self.cfg.l1_hit_latency,
+            };
+            self.l1_stats.record_access(true, is_store);
+            return AccessOutcome {
+                l1_hit: true,
+                ready_at,
+                rejected: false,
+            };
+        }
+
+        // The line may have been evicted while its fill is still in
+        // flight (a conflicting fill displaced it). Merge with the
+        // outstanding miss and restore the tags.
+        if let Some(ready_at) = self.mshrs.ready_at(line) {
+            self.l1_stats.record_access(false, is_store);
+            if let Some(victim) = self.l1.fill(addr, is_store) {
+                self.writeback_to_l2(victim);
+            }
+            return AccessOutcome {
+                l1_hit: false,
+                ready_at: ready_at.max(now + self.cfg.l1_hit_latency),
+                rejected: false,
+            };
+        }
+
+        // Primary miss: needs an MSHR before anything else changes.
+        if !self.mshrs.has_free_entry() {
+            return AccessOutcome {
+                l1_hit: false,
+                ready_at: now,
+                rejected: true,
+            };
+        }
+        self.l1_stats.record_access(false, is_store);
+
+        // Probe L2.
+        let l2_hit = self.l2.lookup(addr, false) == LookupResult::Hit;
+        let latency = if l2_hit {
+            self.cfg.l1_hit_latency + self.cfg.l2_latency
+        } else {
+            // Fill L2 from memory (write-allocate at L2 as well).
+            if let Some(_victim) = self.l2.fill(addr, false) {
+                self.mem_writebacks += 1;
+            }
+            self.cfg.l1_hit_latency + self.cfg.l2_latency + self.cfg.mem_latency
+        };
+        self.l2_stats.record_access(l2_hit, false);
+
+        let ready_at = now + latency;
+        let outcome = self.mshrs.register(line, ready_at);
+        debug_assert!(matches!(outcome, MshrOutcome::Allocated));
+
+        // Fill L1 immediately; the MSHR carries the latency.
+        if let Some(victim) = self.l1.fill(addr, is_store) {
+            self.writeback_to_l2(victim);
+        }
+
+        AccessOutcome {
+            l1_hit: false,
+            ready_at,
+            rejected: false,
+        }
+    }
+
+    fn writeback_to_l2(&mut self, victim_line: u64) {
+        self.l1_stats.record_writeback();
+        if self.l2.lookup(victim_line, true) == LookupResult::Miss {
+            // Write-allocate the victim's line in L2.
+            if self.l2.fill(victim_line, true).is_some() {
+                self.mem_writebacks += 1;
+            }
+            self.l2_stats.record_access(false, true);
+        } else {
+            self.l2_stats.record_access(true, true);
+        }
+    }
+
+    /// Read-only probe: would `addr` hit in L1 right now?
+    pub fn probe_l1(&self, addr: u64) -> bool {
+        self.l1.probe(addr)
+    }
+
+    /// Number of outstanding L1 misses.
+    pub fn outstanding_misses(&mut self, now: u64) -> usize {
+        self.mshrs.retire_completed(now);
+        self.mshrs.outstanding()
+    }
+
+    /// L1 statistics.
+    pub fn l1_stats(&self) -> &CacheStats {
+        &self.l1_stats
+    }
+
+    /// L2 statistics.
+    pub fn l2_stats(&self) -> &CacheStats {
+        &self.l2_stats
+    }
+
+    /// Dirty-victim writebacks that reached main memory.
+    pub fn mem_writebacks(&self) -> u64 {
+        self.mem_writebacks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hier() -> Hierarchy {
+        Hierarchy::new(HierarchyConfig::default())
+    }
+
+    #[test]
+    fn cold_miss_latency_is_l1_l2_mem() {
+        let mut h = hier();
+        let a = h.access(0x1000_0000, false, 100);
+        assert!(!a.l1_hit);
+        assert!(!a.rejected);
+        assert_eq!(a.ready_at, 100 + 1 + 4 + 10);
+    }
+
+    #[test]
+    fn l2_hit_latency_after_l1_eviction() {
+        let mut h = hier();
+        h.access(0x0000_0000, false, 0); // fills L1+L2
+        h.access(0x0000_8000, false, 100); // evicts L1 line (same DM set), fills L2
+        let back = h.access(0x0000_0000, false, 200); // L1 miss, L2 hit
+        assert!(!back.l1_hit);
+        assert_eq!(back.ready_at, 200 + 1 + 4);
+    }
+
+    #[test]
+    fn hit_latency_is_one_cycle() {
+        let mut h = hier();
+        h.access(0x4000, false, 0);
+        let a = h.access(0x4010, false, 50);
+        assert!(a.l1_hit);
+        assert_eq!(a.ready_at, 51);
+    }
+
+    #[test]
+    fn secondary_miss_merges_with_inflight_fill() {
+        let mut h = hier();
+        let first = h.access(0x6000, false, 0);
+        let second = h.access(0x6008, false, 1);
+        assert!(second.l1_hit);
+        assert_eq!(second.ready_at, first.ready_at);
+        // After the fill completes, same line is a plain 1-cycle hit.
+        let third = h.access(0x6010, false, first.ready_at);
+        assert_eq!(third.ready_at, first.ready_at + 1);
+    }
+
+    #[test]
+    fn mshr_exhaustion_rejects_without_side_effects() {
+        let mut h = Hierarchy::new(HierarchyConfig {
+            mshr_entries: 1,
+            ..HierarchyConfig::default()
+        });
+        h.access(0x0000, false, 0);
+        let rejected = h.access(0x10_0000, false, 0);
+        assert!(rejected.rejected);
+        assert!(!h.probe_l1(0x10_0000));
+        // After the first fill completes, the line can be requested.
+        let ok = h.access(0x10_0000, false, 20);
+        assert!(!ok.rejected);
+    }
+
+    #[test]
+    fn store_miss_write_allocates_and_dirties() {
+        let mut h = hier();
+        h.access(0x0000, true, 0); // store miss: allocate dirty
+        assert!(h.probe_l1(0x0000));
+        // Evict it: the dirty victim must be written back to L2.
+        h.access(0x8000, false, 100);
+        assert_eq!(h.l1_stats().writebacks(), 1);
+    }
+
+    #[test]
+    fn clean_eviction_has_no_writeback() {
+        let mut h = hier();
+        h.access(0x0000, false, 0);
+        h.access(0x8000, false, 100);
+        assert_eq!(h.l1_stats().writebacks(), 0);
+    }
+
+    #[test]
+    fn stats_track_hits_and_misses() {
+        let mut h = hier();
+        h.access(0x100, false, 0);
+        h.access(0x104, false, 20);
+        h.access(0x108, true, 40);
+        assert_eq!(h.l1_stats().accesses(), 3);
+        assert_eq!(h.l1_stats().misses(), 1);
+        assert_eq!(h.l1_stats().hits(), 2);
+        assert!((h.l1_stats().miss_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merged_store_dirties_inflight_line() {
+        let mut h = hier();
+        h.access(0x0000, false, 0); // clean load miss in flight
+        h.access(0x0008, true, 1); // merged store must dirty the line
+        h.access(0x8000, false, 100); // evict → writeback expected
+        assert_eq!(h.l1_stats().writebacks(), 1);
+    }
+
+    #[test]
+    fn l2_capacity_eviction_reaches_memory() {
+        // Tiny L2 to force dirty L2 victims out to memory.
+        let mut h = Hierarchy::new(HierarchyConfig {
+            l1_size: 64,
+            l1_line: 32,
+            l1_assoc: 1,
+            l2_size: 128,
+            l2_line: 64,
+            l2_assoc: 1,
+            ..HierarchyConfig::default()
+        });
+        // Store to many distinct lines; L1 (2 lines) and L2 (2 lines)
+        // thrash, forcing dirty victims down the hierarchy.
+        for i in 0..16u64 {
+            h.access(i * 0x1000, true, i * 100);
+        }
+        assert!(h.l1_stats().writebacks() > 0);
+        assert!(h.mem_writebacks() > 0);
+    }
+}

@@ -1,0 +1,150 @@
+//! Miss status holding registers (MSHRs) for the non-blocking L1.
+
+use std::collections::HashMap;
+
+/// Outcome of registering a miss with the [`MshrFile`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MshrOutcome {
+    /// A new MSHR was allocated; the miss goes out to the next level.
+    Allocated,
+    /// The line already has an outstanding miss; this reference merged
+    /// into it and will complete when the original fill returns.
+    Merged {
+        /// Cycle at which the outstanding fill completes.
+        ready_at: u64,
+    },
+    /// All MSHRs are busy; the reference must retry later. (With the
+    /// paper's "one outstanding miss per physical register" provisioning —
+    /// 64 entries here — this is rare but must still be modelled.)
+    Full,
+}
+
+/// A file of miss status holding registers keyed by line address.
+///
+/// Tracks outstanding fills so that (a) secondary misses to an in-flight
+/// line merge instead of issuing duplicate requests, and (b) total
+/// outstanding misses are bounded.
+///
+/// # Examples
+///
+/// ```
+/// use hbdc_mem::{MshrFile, MshrOutcome};
+///
+/// let mut mshrs = MshrFile::new(2);
+/// assert_eq!(mshrs.register(0x100, 15), MshrOutcome::Allocated);
+/// assert_eq!(mshrs.register(0x100, 15), MshrOutcome::Merged { ready_at: 15 });
+/// mshrs.retire_completed(20);
+/// assert_eq!(mshrs.outstanding(), 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MshrFile {
+    capacity: usize,
+    // line address -> completion cycle
+    entries: HashMap<u64, u64>,
+    merges: u64,
+    rejects: u64,
+}
+
+impl MshrFile {
+    /// Creates a file with the given number of entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "MSHR file needs at least one entry");
+        Self {
+            capacity,
+            entries: HashMap::new(),
+            merges: 0,
+            rejects: 0,
+        }
+    }
+
+    /// Registers a miss on `line_addr` that will complete at `ready_at`.
+    pub fn register(&mut self, line_addr: u64, ready_at: u64) -> MshrOutcome {
+        if let Some(&existing) = self.entries.get(&line_addr) {
+            self.merges += 1;
+            return MshrOutcome::Merged { ready_at: existing };
+        }
+        if self.entries.len() >= self.capacity {
+            self.rejects += 1;
+            return MshrOutcome::Full;
+        }
+        self.entries.insert(line_addr, ready_at);
+        MshrOutcome::Allocated
+    }
+
+    /// Completion cycle of the outstanding miss on `line_addr`, if any.
+    pub fn ready_at(&self, line_addr: u64) -> Option<u64> {
+        self.entries.get(&line_addr).copied()
+    }
+
+    /// Frees every MSHR whose fill has completed by cycle `now`.
+    pub fn retire_completed(&mut self, now: u64) {
+        self.entries.retain(|_, &mut ready| ready > now);
+    }
+
+    /// Number of misses currently outstanding.
+    pub fn outstanding(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether a new (non-merging) miss can be accepted.
+    pub fn has_free_entry(&self) -> bool {
+        self.entries.len() < self.capacity
+    }
+
+    /// Total secondary misses merged into an existing entry.
+    pub fn merges(&self) -> u64 {
+        self.merges
+    }
+
+    /// Total misses rejected because the file was full.
+    pub fn rejects(&self) -> u64 {
+        self.rejects
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_then_merge() {
+        let mut m = MshrFile::new(4);
+        assert_eq!(m.register(0x40, 10), MshrOutcome::Allocated);
+        assert_eq!(m.register(0x40, 99), MshrOutcome::Merged { ready_at: 10 });
+        assert_eq!(m.outstanding(), 1);
+        assert_eq!(m.merges(), 1);
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let mut m = MshrFile::new(2);
+        assert_eq!(m.register(0x00, 5), MshrOutcome::Allocated);
+        assert_eq!(m.register(0x40, 5), MshrOutcome::Allocated);
+        assert_eq!(m.register(0x80, 5), MshrOutcome::Full);
+        assert_eq!(m.rejects(), 1);
+        assert!(!m.has_free_entry());
+        // Merging still works when full.
+        assert_eq!(m.register(0x40, 9), MshrOutcome::Merged { ready_at: 5 });
+    }
+
+    #[test]
+    fn retire_frees_only_completed() {
+        let mut m = MshrFile::new(4);
+        m.register(0x00, 5);
+        m.register(0x40, 10);
+        m.retire_completed(5);
+        assert_eq!(m.outstanding(), 1);
+        assert_eq!(m.ready_at(0x40), Some(10));
+        assert_eq!(m.ready_at(0x00), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_capacity_panics() {
+        MshrFile::new(0);
+    }
+}

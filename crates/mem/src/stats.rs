@@ -1,0 +1,117 @@
+//! Per-cache statistics.
+
+use hbdc_stats::Counter;
+
+/// Event counters for one cache level.
+///
+/// # Examples
+///
+/// ```
+/// use hbdc_mem::CacheStats;
+///
+/// let mut s = CacheStats::new("dl1");
+/// s.record_access(true, false);
+/// s.record_access(false, true);
+/// assert_eq!(s.accesses(), 2);
+/// assert!((s.miss_rate() - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CacheStats {
+    accesses: Counter,
+    hits: Counter,
+    misses: Counter,
+    store_accesses: Counter,
+    writebacks: Counter,
+}
+
+impl CacheStats {
+    /// Creates zeroed stats labelled with the cache name (e.g. `"dl1"`).
+    pub fn new(name: &str) -> Self {
+        Self {
+            accesses: Counter::new(format!("{name}.accesses")),
+            hits: Counter::new(format!("{name}.hits")),
+            misses: Counter::new(format!("{name}.misses")),
+            store_accesses: Counter::new(format!("{name}.stores")),
+            writebacks: Counter::new(format!("{name}.writebacks")),
+        }
+    }
+
+    /// Records one access and whether it hit.
+    pub fn record_access(&mut self, hit: bool, is_store: bool) {
+        self.accesses.incr();
+        if hit {
+            self.hits.incr();
+        } else {
+            self.misses.incr();
+        }
+        if is_store {
+            self.store_accesses.incr();
+        }
+    }
+
+    /// Records a dirty-victim writeback.
+    pub fn record_writeback(&mut self) {
+        self.writebacks.incr();
+    }
+
+    /// Total accesses.
+    pub fn accesses(&self) -> u64 {
+        self.accesses.value()
+    }
+
+    /// Total hits.
+    pub fn hits(&self) -> u64 {
+        self.hits.value()
+    }
+
+    /// Total misses.
+    pub fn misses(&self) -> u64 {
+        self.misses.value()
+    }
+
+    /// Total store accesses.
+    pub fn stores(&self) -> u64 {
+        self.store_accesses.value()
+    }
+
+    /// Total writebacks.
+    pub fn writebacks(&self) -> u64 {
+        self.writebacks.value()
+    }
+
+    /// Miss rate (0.0 over an empty run).
+    pub fn miss_rate(&self) -> f64 {
+        self.misses.rate_of(&self.accesses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_partition() {
+        let mut s = CacheStats::new("l2");
+        for i in 0..10 {
+            s.record_access(i % 3 != 0, i % 2 == 0);
+        }
+        assert_eq!(s.accesses(), 10);
+        assert_eq!(s.hits() + s.misses(), 10);
+        assert_eq!(s.misses(), 4);
+        assert_eq!(s.stores(), 5);
+    }
+
+    #[test]
+    fn empty_miss_rate_is_zero() {
+        let s = CacheStats::new("dl1");
+        assert_eq!(s.miss_rate(), 0.0);
+    }
+
+    #[test]
+    fn writebacks_counted() {
+        let mut s = CacheStats::new("dl1");
+        s.record_writeback();
+        s.record_writeback();
+        assert_eq!(s.writebacks(), 2);
+    }
+}

@@ -1,0 +1,139 @@
+//! Property tests: the memory and tag-array models against naive
+//! reference implementations.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use hbdc_mem::{BankMapper, CacheGeometry, LookupResult, Memory, MshrFile, MshrOutcome, TagArray};
+
+proptest! {
+    #[test]
+    fn memory_matches_hashmap_model(
+        ops in prop::collection::vec((0u64..0x4000, any::<u8>(), any::<bool>()), 1..300)
+    ) {
+        let mut mem = Memory::new();
+        let mut model: HashMap<u64, u8> = HashMap::new();
+        for (addr, value, is_write) in ops {
+            if is_write {
+                mem.write_u8(addr, value);
+                model.insert(addr, value);
+            } else {
+                let expected = model.get(&addr).copied().unwrap_or(0);
+                prop_assert_eq!(mem.read_u8(addr), expected);
+            }
+        }
+    }
+
+    #[test]
+    fn wide_accesses_compose_from_bytes(
+        addr in 0u64..0x10000,
+        value in any::<u64>(),
+        n in 1usize..=8
+    ) {
+        let mut mem = Memory::new();
+        mem.write_le(addr, value, n);
+        let mask = if n == 8 { u64::MAX } else { (1u64 << (8 * n)) - 1 };
+        prop_assert_eq!(mem.read_le(addr, n), value & mask);
+        for i in 0..n as u64 {
+            prop_assert_eq!(mem.read_u8(addr + i), (value >> (8 * i)) as u8);
+        }
+    }
+}
+
+/// A naive set-associative LRU cache used as the reference model.
+struct NaiveCache {
+    geom: CacheGeometry,
+    // Per set: (tag, dirty), most-recently-used last.
+    sets: Vec<Vec<(u64, bool)>>,
+}
+
+impl NaiveCache {
+    fn new(geom: CacheGeometry) -> Self {
+        Self {
+            sets: vec![Vec::new(); geom.num_sets() as usize],
+            geom,
+        }
+    }
+
+    /// Returns (hit, writeback_addr).
+    fn access(&mut self, addr: u64, is_store: bool) -> (bool, Option<u64>) {
+        let set = self.geom.set_index(addr) as usize;
+        let tag = self.geom.tag(addr);
+        let assoc = self.geom.assoc() as usize;
+        let ways = &mut self.sets[set];
+        if let Some(pos) = ways.iter().position(|&(t, _)| t == tag) {
+            let (t, d) = ways.remove(pos);
+            ways.push((t, d || is_store));
+            return (true, None);
+        }
+        let mut wb = None;
+        if ways.len() == assoc {
+            let (vt, vd) = ways.remove(0); // LRU at the front
+            if vd {
+                wb = Some(self.geom.rebuild_addr(vt, set as u64));
+            }
+        }
+        ways.push((tag, is_store));
+        (false, wb)
+    }
+}
+
+proptest! {
+    #[test]
+    fn tag_array_matches_naive_lru(
+        accesses in prop::collection::vec((0u64..0x8000, any::<bool>()), 1..500),
+        assoc in prop::sample::select(vec![1u32, 2, 4]),
+    ) {
+        let geom = CacheGeometry::new(4096, 32, assoc);
+        let mut tags = TagArray::new(geom);
+        let mut naive = NaiveCache::new(geom);
+        for (addr, is_store) in accesses {
+            let (expected_hit, expected_wb) = naive.access(addr, is_store);
+            let hit = tags.lookup(addr, is_store) == LookupResult::Hit;
+            prop_assert_eq!(hit, expected_hit, "addr {:#x}", addr);
+            if !hit {
+                let wb = tags.fill(addr, is_store);
+                prop_assert_eq!(wb, expected_wb, "victim for {:#x}", addr);
+            }
+        }
+    }
+
+    #[test]
+    fn bank_mappers_are_total_and_line_consistent(
+        addrs in prop::collection::vec(any::<u64>(), 1..200),
+        banks in prop::sample::select(vec![1u32, 2, 4, 8, 16]),
+    ) {
+        for mapper in [
+            BankMapper::bit_select(banks, 32),
+            BankMapper::xor_fold(banks, 32),
+            BankMapper::pseudo_random(banks, 32),
+        ] {
+            for &a in &addrs {
+                let b = mapper.bank_of(a);
+                prop_assert!(b < banks);
+                // Same line => same bank.
+                prop_assert_eq!(mapper.bank_of(a & !31), b);
+                prop_assert_eq!(mapper.bank_of(a | 31), b);
+            }
+        }
+    }
+
+    #[test]
+    fn mshr_outstanding_never_exceeds_capacity(
+        ops in prop::collection::vec((0u64..64, 1u64..100), 1..200),
+        capacity in 1usize..8,
+    ) {
+        let mut mshrs = MshrFile::new(capacity);
+        let mut now = 0u64;
+        for (line, delay) in ops {
+            now += 1;
+            mshrs.retire_completed(now);
+            let outcome = mshrs.register(line * 32, now + delay);
+            prop_assert!(mshrs.outstanding() <= capacity);
+            if let MshrOutcome::Merged { ready_at } = outcome {
+                prop_assert!(ready_at > now.saturating_sub(100));
+            }
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! Named monotonic event counters.
+
+use std::fmt;
+
+/// A named, monotonically increasing event counter.
+///
+/// Counters are the basic accounting primitive of every simulator in this
+/// workspace: committed instructions, cache hits, bank conflicts, combined
+/// accesses, and so on.
+///
+/// # Examples
+///
+/// ```
+/// use hbdc_stats::Counter;
+///
+/// let mut conflicts = Counter::new("bank.conflicts");
+/// conflicts.incr();
+/// conflicts.add(4);
+/// assert_eq!(conflicts.value(), 5);
+/// assert_eq!(conflicts.name(), "bank.conflicts");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Counter {
+    name: String,
+    value: u64,
+}
+
+impl Counter {
+    /// Creates a new counter with the given name, starting at zero.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            value: 0,
+        }
+    }
+
+    /// The counter's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The current count.
+    pub fn value(&self) -> u64 {
+        self.value
+    }
+
+    /// Increments the counter by one.
+    pub fn incr(&mut self) {
+        self.value += 1;
+    }
+
+    /// Adds `n` to the counter.
+    pub fn add(&mut self, n: u64) {
+        self.value += n;
+    }
+
+    /// Resets the counter to zero, keeping its name.
+    pub fn reset(&mut self) {
+        self.value = 0;
+    }
+
+    /// This counter's value as a fraction of `denominator`'s value.
+    ///
+    /// Returns `0.0` when the denominator is zero, which is the convention
+    /// every report in this workspace wants (an event rate over an empty run
+    /// is reported as zero, not NaN).
+    pub fn rate_of(&self, denominator: &Counter) -> f64 {
+        if denominator.value == 0 {
+            0.0
+        } else {
+            self.value as f64 / denominator.value as f64
+        }
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} = {}", self.name, self.value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_counter_is_zero() {
+        let c = Counter::new("x");
+        assert_eq!(c.value(), 0);
+    }
+
+    #[test]
+    fn incr_and_add_accumulate() {
+        let mut c = Counter::new("x");
+        c.incr();
+        c.incr();
+        c.add(10);
+        assert_eq!(c.value(), 12);
+    }
+
+    #[test]
+    fn reset_zeroes_but_keeps_name() {
+        let mut c = Counter::new("x");
+        c.add(7);
+        c.reset();
+        assert_eq!(c.value(), 0);
+        assert_eq!(c.name(), "x");
+    }
+
+    #[test]
+    fn rate_of_handles_zero_denominator() {
+        let a = Counter::new("a");
+        let b = Counter::new("b");
+        assert_eq!(a.rate_of(&b), 0.0);
+    }
+
+    #[test]
+    fn rate_of_computes_fraction() {
+        let mut a = Counter::new("a");
+        let mut b = Counter::new("b");
+        a.add(1);
+        b.add(4);
+        assert!((a.rate_of(&b) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_contains_name_and_value() {
+        let mut c = Counter::new("hits");
+        c.add(3);
+        assert_eq!(c.to_string(), "hits = 3");
+    }
+}

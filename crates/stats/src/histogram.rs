@@ -1,0 +1,242 @@
+//! Bounded integer histograms with an overflow bucket.
+
+use std::fmt;
+
+/// A histogram over small non-negative integer samples with a fixed number
+/// of direct buckets and a single overflow bucket.
+///
+/// Used throughout the workspace for distributions such as "memory accesses
+/// granted per cycle" or "combined references per line-buffer fill", where
+/// the interesting domain is `0..=N` for small `N`.
+///
+/// # Examples
+///
+/// ```
+/// use hbdc_stats::Histogram;
+///
+/// let mut h = Histogram::new("grants/cycle", 4);
+/// h.record(0);
+/// h.record(2);
+/// h.record(2);
+/// h.record(99); // overflow
+/// assert_eq!(h.count(2), 2);
+/// assert_eq!(h.overflow(), 1);
+/// assert_eq!(h.total(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    name: String,
+    buckets: Vec<u64>,
+    overflow: u64,
+    total: u64,
+    sum: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with direct buckets for values `0..=max_value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_value` exceeds `1 << 20`, a guard against accidentally
+    /// allocating an enormous bucket array from an unvalidated config value.
+    pub fn new(name: impl Into<String>, max_value: usize) -> Self {
+        assert!(max_value <= 1 << 20, "histogram bucket range too large");
+        Self {
+            name: name.into(),
+            buckets: vec![0; max_value + 1],
+            overflow: 0,
+            total: 0,
+            sum: 0,
+        }
+    }
+
+    /// The histogram's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: usize) {
+        if let Some(b) = self.buckets.get_mut(value) {
+            *b += 1;
+        } else {
+            self.overflow += 1;
+        }
+        self.total += 1;
+        self.sum += value as u64;
+    }
+
+    /// Number of samples recorded exactly at `value` (0 if out of range).
+    pub fn count(&self, value: usize) -> u64 {
+        self.buckets.get(value).copied().unwrap_or(0)
+    }
+
+    /// Number of samples that exceeded the direct bucket range.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total number of samples recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean of all recorded samples; `0.0` if empty.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// Fraction of samples recorded at exactly `value`; `0.0` if empty.
+    pub fn fraction(&self, value: usize) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.count(value) as f64 / self.total as f64
+        }
+    }
+
+    /// Iterates over `(value, count)` pairs for the direct buckets.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.buckets.iter().copied().enumerate()
+    }
+
+    /// The smallest direct-bucket value `v` such that at least
+    /// `q * total` samples are `<= v`. Overflow samples count as larger
+    /// than every direct bucket. Returns `None` for an empty histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= q <= 1.0`.
+    pub fn quantile(&self, q: f64) -> Option<usize> {
+        assert!((0.0..=1.0).contains(&q), "quantile out of [0, 1]");
+        if self.total == 0 {
+            return None;
+        }
+        let threshold = (q * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (v, c) in self.iter() {
+            seen += c;
+            if seen >= threshold {
+                return Some(v);
+            }
+        }
+        // Quantile falls in the overflow bucket: report the last direct
+        // bucket as a floor.
+        Some(self.buckets.len() - 1)
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} (n={}, mean={:.3})",
+            self.name,
+            self.total,
+            self.mean()
+        )?;
+        for (v, c) in self.iter() {
+            if c > 0 {
+                writeln!(f, "  {v:>4}: {c}")?;
+            }
+        }
+        if self.overflow > 0 {
+            writeln!(f, "  >{}: {}", self.buckets.len() - 1, self.overflow)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_in_range() {
+        let mut h = Histogram::new("h", 3);
+        for v in [0, 1, 1, 3] {
+            h.record(v);
+        }
+        assert_eq!(h.count(0), 1);
+        assert_eq!(h.count(1), 2);
+        assert_eq!(h.count(2), 0);
+        assert_eq!(h.count(3), 1);
+        assert_eq!(h.overflow(), 0);
+        assert_eq!(h.total(), 4);
+    }
+
+    #[test]
+    fn overflow_counts_out_of_range() {
+        let mut h = Histogram::new("h", 1);
+        h.record(2);
+        h.record(100);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.total(), 2);
+    }
+
+    #[test]
+    fn mean_includes_overflow_values() {
+        let mut h = Histogram::new("h", 1);
+        h.record(0);
+        h.record(4); // overflow bucket, but sum still tracks true value
+        assert!((h.mean() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_histogram_mean_and_fraction_are_zero() {
+        let h = Histogram::new("h", 4);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.fraction(0), 0.0);
+    }
+
+    #[test]
+    fn fraction_is_normalized() {
+        let mut h = Histogram::new("h", 4);
+        h.record(1);
+        h.record(1);
+        h.record(2);
+        assert!((h.fraction(1) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles() {
+        let mut h = Histogram::new("h", 10);
+        for v in [1, 2, 2, 3, 9] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), Some(1));
+        assert_eq!(h.quantile(0.5), Some(2));
+        assert_eq!(h.quantile(0.8), Some(3));
+        assert_eq!(h.quantile(1.0), Some(9));
+        assert_eq!(Histogram::new("e", 4).quantile(0.5), None);
+    }
+
+    #[test]
+    fn quantile_with_overflow_reports_last_bucket() {
+        let mut h = Histogram::new("h", 2);
+        h.record(0);
+        h.record(50);
+        h.record(60);
+        assert_eq!(h.quantile(1.0), Some(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of [0, 1]")]
+    fn quantile_rejects_bad_q() {
+        Histogram::new("h", 2).quantile(1.5);
+    }
+
+    #[test]
+    fn display_lists_nonzero_buckets() {
+        let mut h = Histogram::new("h", 2);
+        h.record(1);
+        h.record(9);
+        let s = h.to_string();
+        assert!(s.contains("1:"));
+        assert!(s.contains(">2: 1"));
+    }
+}

@@ -1,0 +1,79 @@
+//! Statistics and reporting utilities for the `hbdc` simulator family.
+//!
+//! Every experiment harness in this workspace reports through the small set
+//! of primitives defined here:
+//!
+//! * [`Counter`] — a named monotonic event counter.
+//! * [`Histogram`] — a bounded integer histogram with overflow bucket.
+//! * [`RunningStats`] — single-pass mean/variance/min/max.
+//! * [`summary`] — arithmetic and geometric means over slices.
+//! * [`Table`] — a plain-text table renderer used to print the paper's
+//!   tables (Table 2, Table 3, Table 4) and figure data series.
+//!
+//! # Examples
+//!
+//! ```
+//! use hbdc_stats::{Counter, Table};
+//!
+//! let mut hits = Counter::new("dl1.hits");
+//! hits.add(3);
+//! assert_eq!(hits.value(), 3);
+//!
+//! let mut t = Table::new(vec!["program".into(), "ipc".into()]);
+//! t.row(vec!["swim".into(), "6.36".into()]);
+//! assert!(t.render().contains("swim"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod counter;
+mod histogram;
+mod running;
+pub mod summary;
+mod table;
+
+pub use counter::Counter;
+pub use histogram::Histogram;
+pub use running::RunningStats;
+pub use table::{Align, Table};
+
+/// Formats a ratio as a percentage string with two decimals, e.g. `12.34%`.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(hbdc_stats::percent(0.5), "50.00%");
+/// ```
+pub fn percent(fraction: f64) -> String {
+    format!("{:.2}%", fraction * 100.0)
+}
+
+/// Formats a float with three decimals, the precision the paper uses for IPC.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(hbdc_stats::ipc(6.2019), "6.202");
+/// ```
+pub fn ipc(value: f64) -> String {
+    format!("{value:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percent_formats_two_decimals() {
+        assert_eq!(percent(0.123456), "12.35%");
+        assert_eq!(percent(0.0), "0.00%");
+        assert_eq!(percent(1.0), "100.00%");
+    }
+
+    #[test]
+    fn ipc_formats_three_decimals() {
+        assert_eq!(ipc(0.0), "0.000");
+        assert_eq!(ipc(18.6), "18.600");
+    }
+}

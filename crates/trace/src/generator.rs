@@ -1,0 +1,219 @@
+//! Parameterized synthetic reference-stream generation.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::stream::MemRef;
+
+/// Dials controlling a synthetic memory-reference stream.
+///
+/// The generator produces a stream whose consecutive-reference mapping
+/// (Figure 3) can be steered: with probability `same_line` the next
+/// reference stays in the current cache line; with probability
+/// `same_bank_diff_line` it jumps a whole bank-stride (same bank, new
+/// line); otherwise it moves to a uniformly random line in the working
+/// set. Each reference is a store with probability `store_fraction`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamParams {
+    /// Probability the successor reference falls in the same cache line.
+    pub same_line: f64,
+    /// Probability the successor falls in the same bank, different line.
+    pub same_bank_diff_line: f64,
+    /// Fraction of references that are stores.
+    pub store_fraction: f64,
+    /// Number of banks assumed for the same-bank jump (power of two).
+    pub banks: u32,
+    /// Cache line size in bytes (power of two).
+    pub line_size: u64,
+    /// Working-set size in lines.
+    pub working_set_lines: u64,
+}
+
+impl Default for StreamParams {
+    fn default() -> Self {
+        Self {
+            same_line: 0.35,
+            same_bank_diff_line: 0.13,
+            store_fraction: 0.25,
+            banks: 4,
+            line_size: 32,
+            working_set_lines: 4096,
+        }
+    }
+}
+
+impl StreamParams {
+    fn validate(&self) {
+        assert!(
+            (0.0..=1.0).contains(&self.same_line)
+                && (0.0..=1.0).contains(&self.same_bank_diff_line)
+                && self.same_line + self.same_bank_diff_line <= 1.0,
+            "locality probabilities must be in [0,1] and sum to <= 1"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.store_fraction),
+            "store fraction must be in [0,1]"
+        );
+        assert!(self.banks.is_power_of_two(), "banks must be a power of two");
+        assert!(
+            self.line_size.is_power_of_two(),
+            "line size must be a power of two"
+        );
+        assert!(
+            self.working_set_lines > self.banks as u64,
+            "working set too small"
+        );
+    }
+}
+
+/// A deterministic (seeded) synthetic reference-stream generator.
+///
+/// # Examples
+///
+/// ```
+/// use hbdc_trace::{ConsecutiveMapping, StreamGenerator, StreamParams};
+///
+/// let params = StreamParams { same_line: 0.5, ..StreamParams::default() };
+/// let refs: Vec<_> = StreamGenerator::new(params, 42).take(10_000).collect();
+/// let mut f3 = ConsecutiveMapping::new(4, 32);
+/// f3.extend(refs);
+/// // The dialed locality shows up in the measured distribution.
+/// assert!((f3.same_line_fraction() - 0.5).abs() < 0.05);
+/// ```
+#[derive(Debug, Clone)]
+pub struct StreamGenerator {
+    params: StreamParams,
+    rng: StdRng,
+    line: u64, // current line number
+    base: u64,
+}
+
+impl StreamGenerator {
+    /// Creates a generator with the given parameters and seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameters are out of range (see [`StreamParams`]).
+    pub fn new(params: StreamParams, seed: u64) -> Self {
+        params.validate();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let line = rng.gen_range(0..params.working_set_lines);
+        Self {
+            params,
+            rng,
+            line,
+            base: 0x1000_0000 >> params.line_size.trailing_zeros(),
+        }
+    }
+
+    /// The parameters in effect.
+    pub fn params(&self) -> &StreamParams {
+        &self.params
+    }
+
+    fn next_ref(&mut self) -> MemRef {
+        let p = self.params;
+        let roll: f64 = self.rng.gen();
+        if roll < p.same_line {
+            // stay in the current line
+        } else if roll < p.same_line + p.same_bank_diff_line {
+            // jump a multiple of the bank stride: same bank, new line
+            let hops = self.rng.gen_range(1..=4u64);
+            self.line = (self.line + hops * p.banks as u64) % p.working_set_lines;
+        } else {
+            self.line = self.rng.gen_range(0..p.working_set_lines);
+        }
+        let offset = self.rng.gen_range(0..p.line_size / 8) * 8;
+        let addr = (self.base + self.line) * p.line_size + offset;
+        if self.rng.gen::<f64>() < p.store_fraction {
+            MemRef::store(addr)
+        } else {
+            MemRef::load(addr)
+        }
+    }
+}
+
+impl Iterator for StreamGenerator {
+    type Item = MemRef;
+
+    fn next(&mut self) -> Option<MemRef> {
+        Some(self.next_ref())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figure3::ConsecutiveMapping;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let p = StreamParams::default();
+        let a: Vec<MemRef> = StreamGenerator::new(p, 7).take(100).collect();
+        let b: Vec<MemRef> = StreamGenerator::new(p, 7).take(100).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let p = StreamParams::default();
+        let a: Vec<MemRef> = StreamGenerator::new(p, 1).take(100).collect();
+        let b: Vec<MemRef> = StreamGenerator::new(p, 2).take(100).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn store_fraction_is_respected() {
+        let p = StreamParams {
+            store_fraction: 0.4,
+            ..StreamParams::default()
+        };
+        let stores = StreamGenerator::new(p, 3)
+            .take(20_000)
+            .filter(|r| r.is_store)
+            .count();
+        let frac = stores as f64 / 20_000.0;
+        assert!((frac - 0.4).abs() < 0.02, "measured {frac}");
+    }
+
+    #[test]
+    fn locality_dials_steer_figure3() {
+        let p = StreamParams {
+            same_line: 0.4,
+            same_bank_diff_line: 0.2,
+            ..StreamParams::default()
+        };
+        let mut f3 = ConsecutiveMapping::new(4, 32);
+        f3.extend(StreamGenerator::new(p, 5).take(50_000));
+        assert!((f3.same_line_fraction() - 0.4).abs() < 0.03);
+        // Random jumps also land in the same bank 1/4 of the time.
+        let expected_diff = 0.2 + 0.4 * 0.25;
+        assert!((f3.diff_line_fraction() - expected_diff).abs() < 0.04);
+    }
+
+    #[test]
+    fn addresses_stay_in_working_set() {
+        let p = StreamParams {
+            working_set_lines: 64,
+            ..StreamParams::default()
+        };
+        let lo = 0x1000_0000u64;
+        let hi = lo + 64 * 32;
+        for r in StreamGenerator::new(p, 11).take(5_000) {
+            assert!(r.addr >= lo && r.addr < hi, "escaped: {:#x}", r.addr);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to <= 1")]
+    fn invalid_probabilities_panic() {
+        StreamGenerator::new(
+            StreamParams {
+                same_line: 0.8,
+                same_bank_diff_line: 0.5,
+                ..StreamParams::default()
+            },
+            0,
+        );
+    }
+}

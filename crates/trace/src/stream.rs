@@ -1,0 +1,49 @@
+//! Memory-reference records.
+
+/// One reference of a memory stream, in program order.
+///
+/// # Examples
+///
+/// ```
+/// use hbdc_trace::MemRef;
+///
+/// let r = MemRef::store(0x1000_0040);
+/// assert!(r.is_store);
+/// assert_eq!(r.addr, 0x1000_0040);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemRef {
+    /// Effective byte address.
+    pub addr: u64,
+    /// Whether this reference is a store.
+    pub is_store: bool,
+}
+
+impl MemRef {
+    /// Creates a load reference.
+    pub fn load(addr: u64) -> Self {
+        Self {
+            addr,
+            is_store: false,
+        }
+    }
+
+    /// Creates a store reference.
+    pub fn store(addr: u64) -> Self {
+        Self {
+            addr,
+            is_store: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        assert!(!MemRef::load(4).is_store);
+        assert!(MemRef::store(4).is_store);
+    }
+}

@@ -1,0 +1,167 @@
+//! `go` analog: board-position evaluation with pattern lookups.
+//!
+//! SPEC95 `099.go` evaluates Go positions: byte-board neighbourhood reads,
+//! liberty counting, and pattern-table probes, with comparatively little
+//! stored state — Table 2 shows the lowest memory fraction of the integer
+//! suite (28.7%) and a modest 0.36 store-to-load ratio.
+//!
+//! The analog sweeps a 64x64 byte board reading each point's four
+//! neighbours (heavy same-line locality along rows), computes an influence
+//! score with a dose of pure ALU work (keeping the memory fraction low),
+//! probes a 48KB pattern table (the miss-rate source), and writes the
+//! score back to an influence map on roughly a third of the points.
+
+use crate::spec::Scale;
+
+/// Assembly source for the `go` analog.
+pub(crate) fn source(scale: Scale) -> String {
+    let sweeps = 4 * scale.factor();
+    format!(
+        r#"
+# go analog: 64x64 board evaluation with pattern-table probes.
+.data
+board:    .space 4096      # 64x64 bytes
+infl:     .space 16384     # 64x64 words
+patterns: .space 49152     # 12288-word pattern table
+.text
+main:
+    # ---- init: fill board with LCG stones ----
+    la   r8, board
+    li   r9, 4096
+    li   r10, 123456789
+    li   r20, 1103515245
+binit:
+    mul  r10, r10, r20
+    addi r10, r10, 12345
+    srli r11, r10, 16
+    andi r11, r11, 3
+    sb   r11, 0(r8)
+    addi r8, r8, 1
+    addi r9, r9, -1
+    bnez r9, binit
+
+    # ---- outer: row-sized evaluation runs with wraparound ----
+    li   r15, {sweeps}
+    la   r28, board
+    li   r8, 64              # point offset (skip first row)
+sweep:
+    li   r14, 124            # point groups per run (4 points each)
+    la   r9, infl
+    la   r27, patterns
+point:
+    add  r22, r28, r8
+    add  r24, r9, r8
+    # ---- point 0 of the group ----
+    lb   r16, 0(r22)        # stone
+    lb   r17, 1(r22)       # east neighbour (same line)
+    lb   r19, 64(r22)      # south neighbour
+    slli r23, r16, 2
+    add  r23, r23, r17
+    sub  r23, r23, r19
+    slli r26, r23, 9
+    add  r26, r26, r8
+    andi r26, r26, 12287
+    slli r26, r26, 2
+    add  r26, r26, r27
+    lw   r26, 0(r26)         # pattern score
+    add  r25, r23, r26
+    sw   r25, 0(r24)        # write influence
+    andi r26, r23, 3
+    bnez r26, skipw0
+    andi r26, r25, 3
+    sb   r26, 0(r22)
+skipw0:
+    # ---- point 1 of the group ----
+    lb   r16, 1(r22)        # stone
+    lb   r17, 2(r22)       # east neighbour (same line)
+    lb   r19, 65(r22)      # south neighbour
+    slli r23, r16, 2
+    add  r23, r23, r17
+    sub  r23, r23, r19
+    slli r26, r23, 9
+    add  r26, r26, r8
+    andi r26, r26, 12287
+    slli r26, r26, 2
+    add  r26, r26, r27
+    lw   r26, 0(r26)         # pattern score
+    add  r25, r23, r26
+    sw   r25, 1(r24)        # write influence
+    andi r26, r23, 3
+    bnez r26, skipw1
+    andi r26, r25, 3
+    sb   r26, 1(r22)
+skipw1:
+    # ---- point 2 of the group ----
+    lb   r16, 2(r22)        # stone
+    lb   r17, 3(r22)       # east neighbour (same line)
+    lb   r19, 66(r22)      # south neighbour
+    slli r23, r16, 2
+    add  r23, r23, r17
+    sub  r23, r23, r19
+    slli r26, r23, 9
+    add  r26, r26, r8
+    andi r26, r26, 12287
+    slli r26, r26, 2
+    add  r26, r26, r27
+    lw   r26, 0(r26)         # pattern score
+    add  r25, r23, r26
+    sw   r25, 2(r24)        # write influence
+    andi r26, r23, 3
+    bnez r26, skipw2
+    andi r26, r25, 3
+    sb   r26, 2(r22)
+skipw2:
+    # ---- point 3 of the group ----
+    lb   r16, 3(r22)        # stone
+    lb   r17, 4(r22)       # east neighbour (same line)
+    lb   r19, 67(r22)      # south neighbour
+    slli r23, r16, 2
+    add  r23, r23, r17
+    sub  r23, r23, r19
+    slli r26, r23, 9
+    add  r26, r26, r8
+    andi r26, r26, 12287
+    slli r26, r26, 2
+    add  r26, r26, r27
+    lw   r26, 0(r26)         # pattern score
+    add  r25, r23, r26
+    sw   r25, 3(r24)        # write influence
+    andi r26, r23, 3
+    bnez r26, skipw3
+    andi r26, r25, 3
+    sb   r26, 3(r22)
+skipw3:
+    addi r8, r8, 4
+    andi r8, r8, 4031        # wrap inside the board (minus last row)
+    addi r14, r14, -1
+    bnez r14, point
+    addi r15, r15, -1
+    bnez r15, sweep
+    halt
+"#
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::measure;
+
+    #[test]
+    fn assembles_and_terminates() {
+        let mix = measure(&source(Scale::Test));
+        assert!(mix.total > 10_000);
+    }
+
+    #[test]
+    fn mix_is_in_go_band() {
+        let mix = measure(&source(Scale::Small));
+        // Paper: 28.7% memory instructions, store-to-load 0.36.
+        assert!(
+            (17.0..30.0).contains(&mix.mem_pct()),
+            "mem% = {}",
+            mix.mem_pct()
+        );
+        assert!(mix.store_to_load() < 0.55, "s/l = {}", mix.store_to_load());
+    }
+}

@@ -1,0 +1,108 @@
+//! `hbdc-workloads`: SPEC95 benchmark analogs for the cache-bandwidth study.
+//!
+//! The paper evaluates ten SPEC95 programs (five integer, five floating
+//! point). Those binaries and inputs are not redistributable, and the
+//! original runs were 35M–1.5B instructions on SimpleScalar — so this
+//! crate provides *analog kernels* written in the
+//! [`hbdc-isa`](hbdc_isa) micro-ISA, one per paper benchmark, each built
+//! to reproduce the memory behaviour the paper's results depend on:
+//!
+//! * the fraction of memory instructions and the store-to-load ratio
+//!   (paper Table 2),
+//! * the 32KB direct-mapped L1 miss-rate band (Table 2),
+//! * the consecutive-reference bank/line locality (Figure 3): integer
+//!   codes rich in same-line runs, floating-point codes rich in
+//!   same-bank/different-line strides,
+//! * the instruction-level parallelism profile that lets a 64-wide
+//!   machine expose multiple ready memory references per cycle.
+//!
+//! Alongside the analogs, [`MicroKernel`] provides tiny instruments with
+//! analytically known access patterns (same-line bursts, bank thrash,
+//! store storms, pointer chases) used to validate the port models.
+//!
+//! Each analog is an honest kernel of the same computational character as
+//! its namesake (dictionary compression for `compress`, cons-cell
+//! interpretation for `li`, stencil sweeps for the FP codes, …), not a
+//! synthetic address generator. The mapping and calibration are recorded
+//! per benchmark in `EXPERIMENTS.md`.
+//!
+//! # Examples
+//!
+//! ```
+//! use hbdc_workloads::{by_name, Scale};
+//!
+//! let bench = by_name("swim").expect("known benchmark");
+//! let program = bench.build(Scale::Test);
+//! assert!(!program.text().is_empty());
+//! assert_eq!(bench.suite(), hbdc_workloads::Suite::Fp);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod compress;
+mod gcc;
+mod go;
+mod hydro2d;
+mod li;
+mod mgrid;
+mod micro;
+mod perl;
+mod spec;
+mod su2cor;
+mod swim;
+mod wave5;
+
+pub use micro::MicroKernel;
+pub use spec::{all, by_name, Benchmark, PaperRow, Scale, Suite};
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use hbdc_cpu::Emulator;
+    use hbdc_isa::asm::assemble;
+
+    /// Measured dynamic characteristics of a kernel run.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Mix {
+        pub total: u64,
+        pub loads: u64,
+        pub stores: u64,
+    }
+
+    impl Mix {
+        pub fn mem_pct(&self) -> f64 {
+            (self.loads + self.stores) as f64 / self.total as f64 * 100.0
+        }
+
+        pub fn store_to_load(&self) -> f64 {
+            self.stores as f64 / self.loads as f64
+        }
+    }
+
+    /// Runs a kernel functionally and measures its instruction mix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel fails to assemble, runs away past 20M
+    /// instructions, or performs no memory references.
+    pub fn measure(src: &str) -> Mix {
+        let p = assemble(src).unwrap_or_else(|e| panic!("kernel does not assemble: {e}"));
+        let mut emu = Emulator::new(&p);
+        let mut mix = Mix {
+            total: 0,
+            loads: 0,
+            stores: 0,
+        };
+        while let Some(di) = emu.step() {
+            mix.total += 1;
+            if di.inst.is_store() {
+                mix.stores += 1;
+            } else if di.inst.is_load() {
+                mix.loads += 1;
+            }
+            assert!(mix.total < 20_000_000, "kernel does not terminate");
+        }
+        assert!(mix.loads > 0, "kernel performed no loads");
+        mix
+    }
+}

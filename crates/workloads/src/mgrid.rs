@@ -1,0 +1,180 @@
+//! `mgrid` analog: 3-D 27-point multigrid relaxation.
+//!
+//! SPEC95 `107.mgrid` applies multigrid V-cycles to a 3-D Poisson
+//! problem; its inner loop is a 27-point stencil that reads a whole
+//! neighbourhood cube and writes a single point. That gives the most
+//! extreme store-to-load ratio in Table 2 — 0.04, one store per ~25
+//! loads — and enormous load parallelism: the paper's ideal-16-port IPC
+//! of 18.6 is the highest in Table 3, and mgrid is the benchmark where
+//! replication is "virtually indistinguishable from ideal" (almost no
+//! stores to broadcast).
+//!
+//! The analog runs the 27-point kernel over a 40^3 double grid (512KB)
+//! with a linear cursor; all 27 neighbour loads are independent, so a
+//! wide machine can flood the cache ports.
+
+use crate::spec::Scale;
+
+/// Assembly source for the `mgrid` analog.
+pub(crate) fn source(scale: Scale) -> String {
+    let iters = 740 * scale.factor();
+    // Strides for a 40x40x40 grid of 8-byte doubles.
+    let row = 320; // 40 * 8
+    let plane = 12800; // 40 * 40 * 8
+    let span = 512_000 - 2 * (plane + row + 8); // safe interior span
+    format!(
+        r#"
+# mgrid analog: 27-point stencil over a 40^3 double grid.
+.data
+grid:   .space 512000
+resid:  .space 512000
+.text
+main:
+    # ---- init: sprinkle converted integers through the grid ----
+    la   r8, grid
+    li   r9, 500
+    li   r10, 99991
+vinit:
+    itof f1, r10
+    fsd  f1, 0(r8)
+    addi r8, r8, 1024
+    mul  r10, r10, r10
+    andi r10, r10, 65535
+    addi r9, r9, -1
+    bnez r9, vinit
+
+    # ---- relaxation: linear cursor over interior cells ----
+    la   r8, grid+{start}    # cursor (interior)
+    la   r9, resid+{start}
+    li   r15, {iters}
+cell:
+    # plane below
+    fld  f1, -{pm}(r8)
+    fld  f2, -{pmr}(r8)
+    fld  f3, -{pmr8}(r8)
+    fld  f4, -{pr}(r8)
+    fld  f5, -{pr8}(r8)
+    fld  f6, -{p}(r8)
+    fld  f7, -{p8a}(r8)
+    fld  f8, -{p8b}(r8)
+    fld  f9, -{p8c}(r8)
+    # same plane
+    fld  f10, -{rm8}(r8)
+    fld  f11, -{r}(r8)
+    fld  f12, -{r8o}(r8)
+    fld  f13, -8(r8)
+    fld  f14, 0(r8)
+    fld  f15, 8(r8)
+    fld  f16, {r8o}(r8)
+    fld  f17, {r}(r8)
+    fld  f18, {rm8}(r8)
+    # plane above
+    fld  f19, {p8c}(r8)
+    fld  f20, {p8b}(r8)
+    fld  f21, {p8a}(r8)
+    fld  f22, {p}(r8)
+    fld  f23, {pr8}(r8)
+    fld  f24, {pr}(r8)
+    fld  f25, {pmr8}(r8)
+    fld  f26, {pmr}(r8)
+    fld  f27, {pm}(r8)
+    # weighted reduction (tree-shaped for ILP)
+    fadd.d f1, f1, f2
+    fadd.d f3, f3, f4
+    fadd.d f5, f5, f6
+    fadd.d f7, f7, f8
+    fadd.d f9, f9, f10
+    fadd.d f11, f11, f12
+    fadd.d f13, f13, f15
+    fadd.d f16, f16, f17
+    fadd.d f18, f18, f19
+    fadd.d f20, f20, f21
+    fadd.d f22, f22, f23
+    fadd.d f24, f24, f25
+    fadd.d f26, f26, f27
+    # stencil class weights (independent multiplies)
+    fmul.d f1, f1, f14
+    fmul.d f3, f3, f14
+    fmul.d f5, f5, f14
+    fmul.d f7, f7, f14
+    fmul.d f9, f9, f14
+    fmul.d f11, f11, f14
+    fmul.d f13, f13, f14
+    fmul.d f16, f16, f14
+    fmul.d f18, f18, f14
+    fmul.d f20, f20, f14
+    fmul.d f22, f22, f14
+    fmul.d f24, f24, f14
+    fmul.d f26, f26, f14
+    fadd.d f1, f1, f3
+    fadd.d f5, f5, f7
+    fadd.d f9, f9, f11
+    fadd.d f13, f13, f16
+    fadd.d f18, f18, f20
+    fadd.d f22, f22, f24
+    fadd.d f1, f1, f5
+    fadd.d f9, f9, f13
+    fadd.d f18, f18, f22
+    fadd.d f1, f1, f9
+    fadd.d f1, f1, f18
+    fadd.d f1, f1, f26
+    fmul.d f2, f14, f14      # center weight
+    fsub.d f1, f1, f2
+    fsd  f1, 0(r9)           # single store per cell
+    # advance, wrapping inside the safe interior span
+    addi r8, r8, 8
+    addi r9, r9, 8
+    la   r16, grid+{end}
+    blt  r8, r16, nowrap
+    la   r8, grid+{start}
+    la   r9, resid+{start}
+nowrap:
+    addi r15, r15, -1
+    bnez r15, cell
+    halt
+"#,
+        start = plane + row + 8,
+        end = plane + row + 8 + span,
+        p = plane,
+        pm = plane + row + 8,
+        pmr = plane + row,
+        pmr8 = plane + row - 8,
+        pr = plane - row,
+        pr8 = plane - row + 8,
+        p8a = plane + 8,
+        p8b = plane - 8,
+        p8c = plane - row - 8,
+        r = row,
+        rm8 = row + 8,
+        r8o = row - 8,
+        iters = iters,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::measure;
+
+    #[test]
+    fn assembles_and_terminates() {
+        let mix = measure(&source(Scale::Test));
+        assert!(mix.total > 10_000);
+    }
+
+    #[test]
+    fn mix_is_in_mgrid_band() {
+        let mix = measure(&source(Scale::Small));
+        // Paper: 36.8% memory instructions, store-to-load 0.04.
+        assert!(
+            (28.0..48.0).contains(&mix.mem_pct()),
+            "mem% = {}",
+            mix.mem_pct()
+        );
+        assert!(
+            mix.store_to_load() < 0.08,
+            "s/l = {} (must be extreme-load-dominated)",
+            mix.store_to_load()
+        );
+    }
+}

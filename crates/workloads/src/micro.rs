@@ -1,0 +1,191 @@
+//! Micro-kernels with analytically known access patterns.
+//!
+//! These are not benchmark analogs — they are *instruments*: tiny kernels
+//! whose reference streams have a single, known property, used to
+//! validate the port models (each micro-kernel is the best case for one
+//! model and the worst case for another) and to demonstrate mechanisms in
+//! examples.
+
+use hbdc_isa::asm::assemble;
+use hbdc_isa::Program;
+
+/// A named micro-kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MicroKernel {
+    /// Bursts of references to a single cache line per iteration: ideal
+    /// for LBIC combining, worst case for plain banking.
+    SameLineBurst,
+    /// Strided references that all land in one bank of a 4-bank cache:
+    /// the bank-conflict worst case; more banks do not help.
+    BankThrash,
+    /// Stores only: the replicated cache's worst case (every access
+    /// broadcasts).
+    StoreStorm,
+    /// A single dependent pointer chase: almost no memory parallelism, so
+    /// every port model performs alike.
+    PointerChase,
+    /// Independent loads spread round-robin across banks: the multi-bank
+    /// best case.
+    BankFriendly,
+}
+
+impl MicroKernel {
+    /// All micro-kernels.
+    pub fn all() -> [MicroKernel; 5] {
+        [
+            MicroKernel::SameLineBurst,
+            MicroKernel::BankThrash,
+            MicroKernel::StoreStorm,
+            MicroKernel::PointerChase,
+            MicroKernel::BankFriendly,
+        ]
+    }
+
+    /// The kernel's name.
+    pub fn name(self) -> &'static str {
+        match self {
+            MicroKernel::SameLineBurst => "same-line-burst",
+            MicroKernel::BankThrash => "bank-thrash",
+            MicroKernel::StoreStorm => "store-storm",
+            MicroKernel::PointerChase => "pointer-chase",
+            MicroKernel::BankFriendly => "bank-friendly",
+        }
+    }
+
+    /// Assembly source, running roughly `iters` iterations of the pattern.
+    pub fn source(self, iters: u64) -> String {
+        match self {
+            MicroKernel::SameLineBurst => format!(
+                ".data\nbuf: .space 8192\n.text\nmain:\n la r8, buf\n li r15, {iters}\nloop:\n \
+                 lw r1, 0(r8)\n lw r2, 4(r8)\n lw r3, 8(r8)\n lw r4, 12(r8)\n \
+                 lw r5, 16(r8)\n lw r6, 20(r8)\n lw r7, 24(r8)\n lw r9, 28(r8)\n \
+                 addi r8, r8, 32\n andi r8, r8, 8191\n la r10, buf\n or r8, r8, r10\n \
+                 addi r15, r15, -1\n bnez r15, loop\n halt\n"
+            ),
+            MicroKernel::BankThrash => format!(
+                // Stride = 4 banks x 32B: successive lines, same bank.
+                ".data\nbuf: .space 65536\n.text\nmain:\n li r8, 0\n la r11, buf\n \
+                 li r15, {iters}\nloop:\n add r9, r11, r8\n \
+                 lw r1, 0(r9)\n lw r2, 128(r9)\n lw r3, 256(r9)\n lw r4, 384(r9)\n \
+                 addi r8, r8, 512\n andi r8, r8, 65535\n \
+                 addi r15, r15, -1\n bnez r15, loop\n halt\n"
+            ),
+            MicroKernel::StoreStorm => format!(
+                ".data\nbuf: .space 16384\n.text\nmain:\n li r8, 0\n la r11, buf\n \
+                 li r15, {iters}\nloop:\n add r9, r11, r8\n \
+                 sw r0, 0(r9)\n sw r0, 32(r9)\n sw r0, 64(r9)\n sw r0, 96(r9)\n \
+                 addi r8, r8, 128\n andi r8, r8, 16383\n \
+                 addi r15, r15, -1\n bnez r15, loop\n halt\n"
+            ),
+            MicroKernel::PointerChase => format!(
+                // Init builds a single 1024-cell permutation cycle
+                // (i -> i + 521 mod 1024; 521 is odd, so the cycle is
+                // full-length); the loop chases it.
+                ".data\nptrs: .space 8192\n.text\nmain:\n \
+                 la r8, ptrs\n li r9, 1024\n li r12, 0\ninit:\n \
+                 addi r10, r12, 521\n andi r10, r10, 1023\n \
+                 slli r10, r10, 3\n la r11, ptrs\n add r10, r11, r10\n \
+                 sd r10, 0(r8)\n addi r8, r8, 8\n addi r12, r12, 1\n \
+                 addi r9, r9, -1\n bnez r9, init\n \
+                 la r8, ptrs\n li r15, {iters}\nloop:\n \
+                 ld r8, 0(r8)\n addi r15, r15, -1\n bnez r15, loop\n halt\n"
+            ),
+            MicroKernel::BankFriendly => format!(
+                ".data\nbuf: .space 8192\n.text\nmain:\n li r8, 0\n la r11, buf\n \
+                 li r15, {iters}\nloop:\n add r9, r11, r8\n \
+                 lw r1, 0(r9)\n lw r2, 32(r9)\n lw r3, 64(r9)\n lw r4, 96(r9)\n \
+                 addi r8, r8, 4\n andi r8, r8, 4095\n \
+                 addi r15, r15, -1\n bnez r15, loop\n halt\n"
+            ),
+        }
+    }
+
+    /// Assembles the kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the embedded source fails to assemble (a bug in this
+    /// crate, covered by tests).
+    pub fn build(self, iters: u64) -> Program {
+        assemble(&self.source(iters))
+            .unwrap_or_else(|e| panic!("micro-kernel {} broken: {e}", self.name()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hbdc_cpu::Emulator;
+
+    #[test]
+    fn all_kernels_assemble_and_halt() {
+        for k in MicroKernel::all() {
+            let p = k.build(100);
+            let steps = Emulator::new(&p).count();
+            assert!(steps > 100, "{}: only {steps} instructions", k.name());
+            assert!(steps < 100_000, "{}: runaway", k.name());
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let names: std::collections::HashSet<&str> =
+            MicroKernel::all().iter().map(|k| k.name()).collect();
+        assert_eq!(names.len(), 5);
+    }
+
+    #[test]
+    fn pointer_chase_visits_many_cells() {
+        // The permutation must form long cycles, not a self-loop.
+        let p = MicroKernel::PointerChase.build(500);
+        let mut emu = Emulator::new(&p);
+        let mut addrs = std::collections::HashSet::new();
+        while let Some(di) = emu.step() {
+            if di.inst.is_load() {
+                addrs.insert(di.mem_addr());
+            }
+        }
+        assert!(addrs.len() > 50, "chase only visited {} cells", addrs.len());
+    }
+
+    #[test]
+    fn bank_thrash_stays_in_one_bank() {
+        use hbdc_mem::BankMapper;
+        let mapper = BankMapper::bit_select(4, 32);
+        let p = MicroKernel::BankThrash.build(50);
+        let mut emu = Emulator::new(&p);
+        let mut banks = std::collections::HashSet::new();
+        while let Some(di) = emu.step() {
+            if di.inst.is_load() {
+                banks.insert(mapper.bank_of(di.mem_addr()));
+            }
+        }
+        assert_eq!(banks.len(), 1, "thrash leaked into banks {banks:?}");
+    }
+
+    #[test]
+    fn same_line_burst_really_bursts() {
+        let p = MicroKernel::SameLineBurst.build(50);
+        let mut emu = Emulator::new(&p);
+        let mut prev_line = None;
+        let mut same = 0u64;
+        let mut pairs = 0u64;
+        while let Some(di) = emu.step() {
+            if di.inst.is_mem() {
+                let line = di.mem_addr() >> 5;
+                if let Some(p) = prev_line {
+                    pairs += 1;
+                    if p == line {
+                        same += 1;
+                    }
+                }
+                prev_line = Some(line);
+            }
+        }
+        assert!(
+            same as f64 / pairs as f64 > 0.8,
+            "same-line fraction {}",
+            same as f64 / pairs as f64
+        );
+    }
+}

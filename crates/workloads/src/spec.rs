@@ -1,0 +1,284 @@
+//! Benchmark registry and paper-reference characteristics.
+
+use hbdc_isa::asm::assemble;
+use hbdc_isa::Program;
+
+/// Which SPEC95 sub-suite a benchmark analog belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Suite {
+    /// SPECint95 analog (integer).
+    Int,
+    /// SPECfp95 analog (floating point).
+    Fp,
+}
+
+/// How large a run to generate.
+///
+/// The paper simulated each benchmark "to completion or to the first 1.5
+/// billion instructions"; these kernels are steady-state loops whose IPC
+/// converges within a few hundred thousand instructions, so the scales
+/// trade fidelity against wall-clock time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scale {
+    /// ~50k dynamic instructions — unit/integration tests.
+    Test,
+    /// ~500k dynamic instructions — quick experiments.
+    Small,
+    /// Several million dynamic instructions — the reported numbers.
+    Full,
+}
+
+impl Scale {
+    /// A scale-dependent iteration multiplier used by kernel templates.
+    pub(crate) fn factor(self) -> u64 {
+        match self {
+            Scale::Test => 1,
+            Scale::Small => 10,
+            Scale::Full => 64,
+        }
+    }
+}
+
+/// The paper's Table 2 row for a benchmark: the reference characteristics
+/// our analogs are calibrated against.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PaperRow {
+    /// Simulated instruction count, millions (paper ran up to 1 500M).
+    pub instr_millions: f64,
+    /// Memory instructions as a percentage of all instructions.
+    pub mem_pct: f64,
+    /// Stores per load.
+    pub store_to_load: f64,
+    /// 32KB direct-mapped L1 miss rate.
+    pub miss_rate: f64,
+}
+
+/// A registered benchmark analog.
+#[derive(Clone)]
+pub struct Benchmark {
+    name: &'static str,
+    suite: Suite,
+    paper: PaperRow,
+    source: fn(Scale) -> String,
+}
+
+impl std::fmt::Debug for Benchmark {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Benchmark")
+            .field("name", &self.name)
+            .field("suite", &self.suite)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Benchmark {
+    /// The benchmark's (paper) name, e.g. `"compress"`.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Which suite it belongs to.
+    pub fn suite(&self) -> Suite {
+        self.suite
+    }
+
+    /// The paper's Table 2 characteristics for the original program.
+    pub fn paper(&self) -> PaperRow {
+        self.paper
+    }
+
+    /// The analog's assembly source at the given scale.
+    pub fn source(&self, scale: Scale) -> String {
+        (self.source)(scale)
+    }
+
+    /// Assembles the analog at the given scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the embedded kernel fails to assemble — that is a bug in
+    /// this crate, covered by tests, never a user error.
+    pub fn build(&self, scale: Scale) -> Program {
+        match assemble(&self.source(scale)) {
+            Ok(p) => p,
+            Err(e) => panic!("kernel `{}` failed to assemble: {e}", self.name),
+        }
+    }
+}
+
+/// All ten benchmark analogs, integer suite first, in the paper's
+/// Table 2/3/4 row order.
+pub fn all() -> Vec<Benchmark> {
+    vec![
+        Benchmark {
+            name: "compress",
+            suite: Suite::Int,
+            paper: PaperRow {
+                instr_millions: 35.69,
+                mem_pct: 37.4,
+                store_to_load: 0.81,
+                miss_rate: 0.0542,
+            },
+            source: crate::compress::source,
+        },
+        Benchmark {
+            name: "gcc",
+            suite: Suite::Int,
+            paper: PaperRow {
+                instr_millions: 264.80,
+                mem_pct: 36.7,
+                store_to_load: 0.59,
+                miss_rate: 0.0240,
+            },
+            source: crate::gcc::source,
+        },
+        Benchmark {
+            name: "go",
+            suite: Suite::Int,
+            paper: PaperRow {
+                instr_millions: 548.12,
+                mem_pct: 28.7,
+                store_to_load: 0.36,
+                miss_rate: 0.0271,
+            },
+            source: crate::go::source,
+        },
+        Benchmark {
+            name: "li",
+            suite: Suite::Int,
+            paper: PaperRow {
+                instr_millions: 956.30,
+                mem_pct: 47.6,
+                store_to_load: 0.59,
+                miss_rate: 0.0084,
+            },
+            source: crate::li::source,
+        },
+        Benchmark {
+            name: "perl",
+            suite: Suite::Int,
+            paper: PaperRow {
+                instr_millions: 1500.0,
+                mem_pct: 43.7,
+                store_to_load: 0.69,
+                miss_rate: 0.0265,
+            },
+            source: crate::perl::source,
+        },
+        Benchmark {
+            name: "hydro2d",
+            suite: Suite::Fp,
+            paper: PaperRow {
+                instr_millions: 967.08,
+                mem_pct: 25.9,
+                store_to_load: 0.30,
+                miss_rate: 0.1010,
+            },
+            source: crate::hydro2d::source,
+        },
+        Benchmark {
+            name: "mgrid",
+            suite: Suite::Fp,
+            paper: PaperRow {
+                instr_millions: 1500.0,
+                mem_pct: 36.8,
+                store_to_load: 0.04,
+                miss_rate: 0.0402,
+            },
+            source: crate::mgrid::source,
+        },
+        Benchmark {
+            name: "su2cor",
+            suite: Suite::Fp,
+            paper: PaperRow {
+                instr_millions: 1034.36,
+                mem_pct: 32.0,
+                store_to_load: 0.32,
+                miss_rate: 0.1307,
+            },
+            source: crate::su2cor::source,
+        },
+        Benchmark {
+            name: "swim",
+            suite: Suite::Fp,
+            paper: PaperRow {
+                instr_millions: 796.53,
+                mem_pct: 29.5,
+                store_to_load: 0.28,
+                miss_rate: 0.0615,
+            },
+            source: crate::swim::source,
+        },
+        Benchmark {
+            name: "wave5",
+            suite: Suite::Fp,
+            paper: PaperRow {
+                instr_millions: 1500.0,
+                mem_pct: 31.6,
+                store_to_load: 0.39,
+                miss_rate: 0.1103,
+            },
+            source: crate::wave5::source,
+        },
+    ]
+}
+
+/// Looks a benchmark up by its paper name.
+pub fn by_name(name: &str) -> Option<Benchmark> {
+    all().into_iter().find(|b| b.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_ten_benchmarks_in_paper_order() {
+        let names: Vec<&str> = all().iter().map(|b| b.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "compress", "gcc", "go", "li", "perl", "hydro2d", "mgrid", "su2cor", "swim",
+                "wave5"
+            ]
+        );
+    }
+
+    #[test]
+    fn suites_split_five_five() {
+        let v = all();
+        assert_eq!(v.iter().filter(|b| b.suite() == Suite::Int).count(), 5);
+        assert_eq!(v.iter().filter(|b| b.suite() == Suite::Fp).count(), 5);
+    }
+
+    #[test]
+    fn by_name_lookup() {
+        assert!(by_name("mgrid").is_some());
+        assert!(by_name("doom").is_none());
+    }
+
+    #[test]
+    fn every_kernel_assembles_at_every_scale() {
+        for b in all() {
+            for scale in [Scale::Test, Scale::Small, Scale::Full] {
+                let p = b.build(scale);
+                assert!(!p.text().is_empty(), "{} produced empty text", b.name());
+            }
+        }
+    }
+
+    #[test]
+    fn paper_rows_match_table2() {
+        let c = by_name("compress").unwrap().paper();
+        assert_eq!(c.store_to_load, 0.81);
+        let m = by_name("mgrid").unwrap().paper();
+        assert_eq!(m.store_to_load, 0.04);
+        assert_eq!(m.mem_pct, 36.8);
+    }
+
+    #[test]
+    fn scale_factors_increase() {
+        assert!(Scale::Test.factor() < Scale::Small.factor());
+        assert!(Scale::Small.factor() < Scale::Full.factor());
+    }
+}

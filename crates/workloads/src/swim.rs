@@ -1,0 +1,145 @@
+//! `swim` analog: shallow-water finite differences over aliasing arrays.
+//!
+//! SPEC95 `102.swim` time-steps the shallow-water equations over several
+//! equal-sized grids (`U`, `V`, `P`, and their successors). Because the
+//! grids are allocated at power-of-two spacings, the *same index* in
+//! different grids maps to the *same cache bank* in a line-interleaved
+//! cache — the paper's Figure 3 measures swim's same-bank/different-line
+//! rate at 33.8%, the worst in the study, which is why swim gains less
+//! from multi-banking (Table 3: Bank-16 at 6.90 vs True-16 at 13.6) and
+//! why the LBIC's combining recovers so much of it (Table 4).
+//!
+//! The analog keeps five 128KB double grids back to back and evaluates
+//! the update at each point from `u`, `v`, and `p` neighbours, writing
+//! `unew`/`vnew` — seven loads spread across three aliasing arrays, two
+//! stores, ~14 FP ops.
+
+use crate::spec::Scale;
+
+/// Assembly source for the `swim` analog.
+pub(crate) fn source(scale: Scale) -> String {
+    let rows = 9 * scale.factor();
+    format!(
+        r#"
+# swim analog: shallow-water step over five aliasing 128KB grids.
+.data
+u:     .space 131072       # 128x128 doubles
+pad0:  .space 4224         # pads keep same-index bank aliasing (multiple
+v:     .space 131072       # of banks*line) while breaking 32KB-set
+pad1:  .space 4224         # aliasing that would make every access miss
+p:     .space 131072
+pad2:  .space 4224
+unew:  .space 131072
+pad3:  .space 4224
+vnew:  .space 131072
+.text
+main:
+    # ---- init: seed one row of u, v, p ----
+    la   r8, u
+    la   r9, v
+    la   r10, p
+    li   r11, 128
+    li   r12, 40961
+winit:
+    itof f1, r12
+    fsd  f1, 0(r8)
+    fsd  f1, 0(r9)
+    fsd  f1, 0(r10)
+    mul  r12, r12, r12
+    andi r12, r12, 8191
+    addi r12, r12, 3
+    addi r8, r8, 8
+    addi r9, r9, 8
+    addi r10, r10, 8
+    addi r11, r11, -1
+    bnez r11, winit
+
+    # ---- time-step row sweeps ----
+    li   r15, {rows}
+    li   r8, 1032            # point offset within a grid (row 1, col 1)
+    la   r20, u              # grid bases, loop-invariant
+    la   r21, v
+    la   r22, p
+    la   r23, unew
+    la   r24, vnew
+    li   r25, 0              # row-pass parity (each row swept twice)
+row:
+    mov  r26, r8             # remember the row start
+    li   r14, 126
+point:
+    add  r16, r20, r8
+    add  r17, r21, r8
+    add  r18, r22, r8
+    fld  f1, 0(r16)          # u[i]      -- same index in u, v, p:
+    fld  f2, 0(r17)          # v[i]      -- same bank, different lines
+    fld  f3, 0(r18)          # p[i]      -- (aliasing arrays)
+    fld  f4, 8(r16)          # u[i+1]   (same line as u[i])
+    fld  f5, 1024(r17)       # v[i+N]
+    fld  f6, 8(r18)          # p[i+1]
+    fld  f7, 1024(r18)       # p[i+N]
+    # ~14 FP ops of finite-difference arithmetic
+    fsub.d f8, f4, f1
+    fsub.d f9, f5, f2
+    fsub.d f10, f6, f3
+    fsub.d f11, f7, f3
+    fmul.d f12, f8, f10
+    fmul.d f13, f9, f11
+    fadd.d f14, f12, f13
+    fmul.d f15, f1, f9
+    fmul.d f16, f2, f8
+    fsub.d f17, f15, f16
+    fadd.d f18, f14, f3
+    fmul.d f19, f17, f18
+    fadd.d f20, f19, f1
+    fsub.d f21, f18, f2
+    add  r19, r23, r8
+    fsd  f20, 0(r19)         # unew[i]  (same bank again)
+    add  r19, r24, r8
+    fsd  f21, 0(r19)         # vnew[i]
+    addi r8, r8, 8
+    addi r14, r14, -1
+    bnez r14, point
+    xori r25, r25, 1
+    beqz r25, advance        # second pass done: move to the next row
+    mov  r8, r26             # first pass done: sweep the same row again
+    j    rownext
+advance:
+    addi r8, r8, 16          # skip border columns
+    li   r16, 130048
+    blt  r8, r16, rownext
+    li   r8, 1032
+rownext:
+    addi r15, r15, -1
+    bnez r15, row
+    halt
+"#
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::measure;
+
+    #[test]
+    fn assembles_and_terminates() {
+        let mix = measure(&source(Scale::Test));
+        assert!(mix.total > 10_000);
+    }
+
+    #[test]
+    fn mix_is_in_swim_band() {
+        let mix = measure(&source(Scale::Small));
+        // Paper: 29.5% memory instructions, store-to-load 0.28.
+        assert!(
+            (22.0..40.0).contains(&mix.mem_pct()),
+            "mem% = {}",
+            mix.mem_pct()
+        );
+        assert!(
+            (0.18..0.4).contains(&mix.store_to_load()),
+            "s/l = {}",
+            mix.store_to_load()
+        );
+    }
+}

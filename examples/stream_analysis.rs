@@ -1,0 +1,65 @@
+//! Figure-3-style reference-stream analysis, on both a real benchmark
+//! analog and a synthetic stream with dialed locality.
+//!
+//! Demonstrates the paper's Section 4 methodology: classify consecutive
+//! memory references by where they land in an infinite 4-bank cache, and
+//! show how same-line locality (combinable) differs from same-bank
+//! conflicts (not combinable).
+//!
+//! Run with: `cargo run --release --example stream_analysis`
+
+use hbdc::prelude::*;
+
+fn print_segments(label: &str, f3: &ConsecutiveMapping) {
+    let s = f3.segments();
+    println!(
+        "{label:24} same-line {:5.1}%  diff-line {:5.1}%  (B+1) {:5.1}%  (B+2) {:5.1}%  (B+3) {:5.1}%",
+        s[0] * 100.0,
+        s[1] * 100.0,
+        s[2] * 100.0,
+        s[3] * 100.0,
+        s[4] * 100.0
+    );
+}
+
+fn main() {
+    // ---- a real workload's stream ----
+    for name in ["gcc", "swim"] {
+        let bench = by_name(name).expect("registered benchmark");
+        let program = bench.build(Scale::Small);
+        let mut emu = Emulator::new(&program);
+        let mut f3 = ConsecutiveMapping::new(4, 32);
+        while let Some(di) = emu.step() {
+            if let Some(addr) = di.addr {
+                f3.record(if di.inst.is_store() {
+                    MemRef::store(addr)
+                } else {
+                    MemRef::load(addr)
+                });
+            }
+        }
+        print_segments(name, &f3);
+    }
+
+    // ---- synthetic streams: the dials map directly onto the segments ----
+    println!();
+    for (label, same_line, same_bank) in [
+        ("synthetic int-like", 0.35, 0.13),
+        ("synthetic fp-like", 0.22, 0.21),
+        ("synthetic uniform", 0.0, 0.0),
+    ] {
+        let params = StreamParams {
+            same_line,
+            same_bank_diff_line: same_bank,
+            ..StreamParams::default()
+        };
+        let mut f3 = ConsecutiveMapping::new(4, 32);
+        f3.extend(StreamGenerator::new(params, 7).take(200_000));
+        print_segments(label, &f3);
+    }
+    println!(
+        "\nA uniform stream approaches 25% per bank; the locality dials pull\n\
+         probability into the same-bank segments, exactly as Figure 3 shows\n\
+         for real programs."
+    );
+}

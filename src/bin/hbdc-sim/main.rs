@@ -1,0 +1,248 @@
+//! `hbdc-sim` — command-line driver for the hbdc simulator stack.
+//!
+//! ```text
+//! hbdc-sim run <prog.s|prog.hbo|bench:NAME> [--port SPEC] [--max-insts N]
+//!              [--ruu N] [--lsq N] [--ls-units N] [--scale test|small|full]
+//!              [--frontend perfect|gshare|bimodal]
+//! hbdc-sim asm <prog.s> -o <prog.hbo>        assemble to a binary object
+//! hbdc-sim disasm <prog.s|prog.hbo>          print assembler-compatible text
+//! hbdc-sim analyze <prog.s|bench:NAME>       stream locality + reuse report
+//! hbdc-sim bench-list                        list the SPEC95 analogs
+//! ```
+//!
+//! Port SPEC grammar: `ideal:4`, `repl:2`, `bank:8`, `bank:8:xor`,
+//! `bank:8:rand`, `lbic:4x2`, `lbic:4x2:sq=16`, `lbic:4x2:largest`.
+
+mod portspec;
+mod program_source;
+
+use std::process::ExitCode;
+
+use hbdc::prelude::*;
+
+use portspec::parse_port;
+use program_source::load_program;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  hbdc-sim run <prog.s|prog.hbo|bench:NAME> [--port SPEC] [--max-insts N]\n\
+         \x20          [--ruu N] [--lsq N] [--ls-units N] [--scale test|small|full]\n  \
+         hbdc-sim asm <prog.s> -o <prog.hbo>\n  \
+         hbdc-sim disasm <prog.s|prog.hbo>\n  \
+         hbdc-sim analyze <prog.s|bench:NAME> [--banks N] [--scale ...]\n  \
+         hbdc-sim bench-list\n\n\
+         port SPEC: ideal:P | repl:P | bank:M[:xor|:rand] | lbic:MxN[:sq=K][:largest]"
+    );
+    ExitCode::from(2)
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn parse_num(args: &[String], flag: &str, default: u64) -> Result<u64, String> {
+    match flag_value(args, flag) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("{flag} expects a number, got `{v}`")),
+    }
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let target = args.first().ok_or("missing program argument")?;
+    let program = load_program(target, args)?;
+    let port = parse_port(&flag_value(args, "--port").unwrap_or_else(|| "lbic:4x2".into()))?;
+    let front_end = match flag_value(args, "--frontend").as_deref() {
+        None | Some("perfect") => hbdc::cpu::FrontEnd::Perfect,
+        Some("gshare") => hbdc::cpu::FrontEnd::Predicted {
+            kind: hbdc::cpu::PredictorKind::Gshare {
+                entries: 4096,
+                history_bits: 12,
+            },
+            redirect_penalty: 3,
+        },
+        Some("bimodal") => hbdc::cpu::FrontEnd::Predicted {
+            kind: hbdc::cpu::PredictorKind::Bimodal { entries: 2048 },
+            redirect_penalty: 3,
+        },
+        Some(other) => return Err(format!("unknown front end `{other}`")),
+    };
+    let cfg = CpuConfig {
+        ruu_size: parse_num(args, "--ruu", 1024)? as usize,
+        lsq_size: parse_num(args, "--lsq", 512)? as usize,
+        ls_units: parse_num(args, "--ls-units", 64)? as u32,
+        max_insts: parse_num(args, "--max-insts", u64::MAX)?,
+        front_end,
+        ..CpuConfig::default()
+    };
+    let mut sim = Simulator::new(&program, cfg, HierarchyConfig::default(), port);
+    let report = sim.run();
+    let (branches, mispredicts) = sim.branch_stats();
+
+    println!("program        {target}");
+    println!("port model     {}", report.port_label);
+    println!("committed      {}", report.committed);
+    println!("cycles         {}", report.cycles);
+    println!("IPC            {:.3}", report.ipc());
+    println!("loads          {}", report.loads);
+    println!("stores         {}", report.stores);
+    println!("forwards       {}", report.forwards);
+    println!(
+        "L1             {} accesses, {} misses ({:.2}%), {} writebacks",
+        report.l1_accesses,
+        report.l1_misses,
+        report.l1_miss_rate() * 100.0,
+        report.l1_writebacks
+    );
+    println!(
+        "L2             {} accesses, {} misses",
+        report.l2_accesses, report.l2_misses
+    );
+    println!(
+        "arbitration    {} offered, {} granted, {} bank conflicts, {} combined",
+        report.arb_offered, report.arb_granted, report.bank_conflicts, report.combined
+    );
+    if report.store_serializations > 0 {
+        println!("store bcasts   {}", report.store_serializations);
+    }
+    if branches > 0 {
+        println!(
+            "branches       {} ({} mispredicted, {:.2}%)",
+            branches,
+            mispredicts,
+            mispredicts as f64 / branches as f64 * 100.0
+        );
+    }
+    Ok(())
+}
+
+fn cmd_asm(args: &[String]) -> Result<(), String> {
+    let input = args.first().ok_or("missing input file")?;
+    let output = flag_value(args, "-o").ok_or("missing -o <output>")?;
+    let src = std::fs::read_to_string(input).map_err(|e| format!("{input}: {e}"))?;
+    let program = assemble(&src).map_err(|e| e.to_string())?;
+    let bytes = hbdc::isa::object::to_bytes(&program);
+    std::fs::write(&output, &bytes).map_err(|e| format!("{output}: {e}"))?;
+    println!(
+        "{output}: {} instructions, {} data bytes, {} bytes total",
+        program.text().len(),
+        program.data().len(),
+        bytes.len()
+    );
+    Ok(())
+}
+
+fn cmd_disasm(args: &[String]) -> Result<(), String> {
+    let input = args.first().ok_or("missing input file")?;
+    let program = load_program(input, args)?;
+    print!("{}", hbdc::isa::disasm::program_to_string(&program));
+    Ok(())
+}
+
+fn cmd_analyze(args: &[String]) -> Result<(), String> {
+    let target = args.first().ok_or("missing program argument")?;
+    let program = load_program(target, args)?;
+    let banks = parse_num(args, "--banks", 4)? as u32;
+    if banks < 2 || !banks.is_power_of_two() {
+        return Err("--banks must be a power of two >= 2".into());
+    }
+
+    let mut emu = Emulator::new(&program);
+    let mut f3 = ConsecutiveMapping::new(banks, 32);
+    let mut dl1 = TraceCacheSim::paper_l1();
+    let mut reuse = hbdc::trace::ReuseAnalyzer::new(32, 4096);
+    let (mut total, mut loads, mut stores) = (0u64, 0u64, 0u64);
+    while let Some(di) = emu.step() {
+        total += 1;
+        if let Some(addr) = di.addr {
+            let r = if di.inst.is_store() {
+                stores += 1;
+                MemRef::store(addr)
+            } else {
+                loads += 1;
+                MemRef::load(addr)
+            };
+            f3.record(r);
+            dl1.access(r);
+            reuse.record(r);
+        }
+    }
+
+    println!("program            {target}");
+    println!("instructions       {total}");
+    println!(
+        "memory mix         {:.1}% ({} loads, {} stores, s/l {:.2})",
+        (loads + stores) as f64 / total as f64 * 100.0,
+        loads,
+        stores,
+        stores as f64 / loads.max(1) as f64
+    );
+    println!(
+        "32KB DM miss rate  {:.4} ({} misses)",
+        dl1.stats().miss_rate(),
+        dl1.stats().misses()
+    );
+    println!("footprint          {} lines", reuse.footprint_lines());
+    for capacity in [256usize, 1024, 4096] {
+        println!(
+            "LRU x{capacity:<5} lines   predicted miss rate {:.4}",
+            reuse.predicted_miss_rate(capacity)
+        );
+    }
+    println!("consecutive mapping ({banks} banks):");
+    let segs = f3.segments();
+    println!("  B-same-line      {:.1}%", segs[0] * 100.0);
+    println!("  B-diff-line      {:.1}%", segs[1] * 100.0);
+    for (i, s) in segs[2..].iter().enumerate() {
+        println!("  (B+{})%{banks}          {:.1}%", i + 1, s * 100.0);
+    }
+    Ok(())
+}
+
+fn cmd_bench_list() -> Result<(), String> {
+    println!(
+        "{:10} {:5} {:>8} {:>10} {:>9}",
+        "name", "suite", "mem%", "store/load", "miss"
+    );
+    for b in all() {
+        let p = b.paper();
+        println!(
+            "{:10} {:5} {:>8.1} {:>10.2} {:>9.4}",
+            b.name(),
+            match b.suite() {
+                Suite::Int => "int",
+                Suite::Fp => "fp",
+            },
+            p.mem_pct,
+            p.store_to_load,
+            p.miss_rate
+        );
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        return usage();
+    };
+    let rest = &args[1..];
+    let result = match command.as_str() {
+        "run" => cmd_run(rest),
+        "asm" => cmd_asm(rest),
+        "disasm" => cmd_disasm(rest),
+        "analyze" => cmd_analyze(rest),
+        "bench-list" => cmd_bench_list(),
+        _ => return usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("hbdc-sim: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

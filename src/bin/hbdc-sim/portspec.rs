@@ -1,0 +1,142 @@
+//! Port-model specification parsing for the CLI.
+//!
+//! Grammar:
+//!
+//! ```text
+//! ideal:P            true multi-porting with P ports
+//! repl:P             replicated cache with P copies
+//! bank:M             M line-interleaved banks, bit selection
+//! bank:M:xor         … with XOR-fold bank selection
+//! bank:M:rand        … with pseudo-random bank selection
+//! lbic:MxN           MxN LBIC, 8-entry store queues, leading-request
+//! lbic:MxN:sq=K      … with K-entry store queues
+//! lbic:MxN:largest   … with the largest-group combining policy
+//! ```
+
+use hbdc::prelude::*;
+
+/// Parses a port-model specification.
+pub fn parse_port(spec: &str) -> Result<PortConfig, String> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    let bad = || format!("bad port spec `{spec}`");
+    match parts.as_slice() {
+        ["ideal", p] => Ok(PortConfig::Ideal {
+            ports: p.parse().map_err(|_| bad())?,
+        }),
+        ["repl", p] => Ok(PortConfig::Replicated {
+            ports: p.parse().map_err(|_| bad())?,
+        }),
+        ["bank", m] => Ok(PortConfig::Banked {
+            banks: m.parse().map_err(|_| bad())?,
+            select: BankSelect::BitSelect,
+        }),
+        ["bank", m, sel] => {
+            let select = match *sel {
+                "bit" => BankSelect::BitSelect,
+                "xor" => BankSelect::XorFold,
+                "rand" => BankSelect::PseudoRandom,
+                _ => return Err(bad()),
+            };
+            Ok(PortConfig::Banked {
+                banks: m.parse().map_err(|_| bad())?,
+                select,
+            })
+        }
+        ["lbic", mxn, rest @ ..] => {
+            let (m, n) = mxn.split_once('x').ok_or_else(bad)?;
+            let banks: u32 = m.parse().map_err(|_| bad())?;
+            let line_ports: usize = n.parse().map_err(|_| bad())?;
+            let mut store_queue = 8usize;
+            let mut policy = CombinePolicy::LeadingRequest;
+            for opt in rest {
+                if let Some(k) = opt.strip_prefix("sq=") {
+                    store_queue = k.parse().map_err(|_| bad())?;
+                } else if *opt == "largest" {
+                    policy = CombinePolicy::LargestGroup;
+                } else if *opt == "leading" {
+                    policy = CombinePolicy::LeadingRequest;
+                } else {
+                    return Err(bad());
+                }
+            }
+            Ok(PortConfig::Lbic {
+                banks,
+                line_ports,
+                store_queue,
+                policy,
+            })
+        }
+        _ => Err(bad()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_and_repl() {
+        assert_eq!(
+            parse_port("ideal:4").unwrap(),
+            PortConfig::Ideal { ports: 4 }
+        );
+        assert_eq!(
+            parse_port("repl:2").unwrap(),
+            PortConfig::Replicated { ports: 2 }
+        );
+    }
+
+    #[test]
+    fn banked_with_selects() {
+        assert_eq!(parse_port("bank:8").unwrap(), PortConfig::banked(8));
+        assert_eq!(
+            parse_port("bank:8:xor").unwrap(),
+            PortConfig::Banked {
+                banks: 8,
+                select: BankSelect::XorFold
+            }
+        );
+        assert_eq!(
+            parse_port("bank:4:rand").unwrap(),
+            PortConfig::Banked {
+                banks: 4,
+                select: BankSelect::PseudoRandom
+            }
+        );
+    }
+
+    #[test]
+    fn lbic_variants() {
+        assert_eq!(parse_port("lbic:4x2").unwrap(), PortConfig::lbic(4, 2));
+        assert_eq!(
+            parse_port("lbic:2x4:sq=16:largest").unwrap(),
+            PortConfig::Lbic {
+                banks: 2,
+                line_ports: 4,
+                store_queue: 16,
+                policy: CombinePolicy::LargestGroup,
+            }
+        );
+        assert_eq!(
+            parse_port("lbic:8x2:leading").unwrap(),
+            PortConfig::lbic(8, 2)
+        );
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        for bad in [
+            "",
+            "ideal",
+            "ideal:x",
+            "bank:three",
+            "bank:4:fancy",
+            "lbic:4",
+            "lbic:4x",
+            "lbic:4x2:sq=",
+            "omega:4",
+        ] {
+            assert!(parse_port(bad).is_err(), "`{bad}` should be rejected");
+        }
+    }
+}

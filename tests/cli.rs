@@ -1,0 +1,96 @@
+//! End-to-end tests of the `hbdc-sim` command-line interface.
+
+use std::process::Command;
+
+fn hbdc_sim(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_hbdc-sim"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn no_arguments_prints_usage() {
+    let (_, err, ok) = hbdc_sim(&[]);
+    assert!(!ok);
+    assert!(err.contains("usage:"));
+}
+
+#[test]
+fn bench_list_names_all_ten() {
+    let (out, _, ok) = hbdc_sim(&["bench-list"]);
+    assert!(ok);
+    for name in [
+        "compress", "gcc", "go", "li", "perl", "hydro2d", "mgrid", "su2cor", "swim", "wave5",
+    ] {
+        assert!(out.contains(name), "missing {name} in:\n{out}");
+    }
+}
+
+#[test]
+fn run_reports_ipc_for_a_bundled_benchmark() {
+    let (out, _, ok) = hbdc_sim(&["run", "bench:li", "--port", "lbic:4x2"]);
+    assert!(ok);
+    assert!(out.contains("IPC"));
+    assert!(out.contains("LBIC-4x2"));
+}
+
+#[test]
+fn run_with_predictor_reports_branch_stats() {
+    let (out, _, ok) = hbdc_sim(&["run", "bench:go", "--frontend", "bimodal"]);
+    assert!(ok, "run failed:\n{out}");
+    assert!(out.contains("mispredicted"));
+}
+
+#[test]
+fn bad_port_spec_fails_cleanly() {
+    let (_, err, ok) = hbdc_sim(&["run", "bench:li", "--port", "omega:4"]);
+    assert!(!ok);
+    assert!(err.contains("bad port spec"));
+}
+
+#[test]
+fn unknown_benchmark_fails_cleanly() {
+    let (_, err, ok) = hbdc_sim(&["run", "bench:doom"]);
+    assert!(!ok);
+    assert!(err.contains("unknown benchmark"));
+}
+
+#[test]
+fn asm_disasm_roundtrip_through_object_file() {
+    let dir = std::env::temp_dir();
+    let src = dir.join("hbdc_cli_test.s");
+    let obj = dir.join("hbdc_cli_test.hbo");
+    std::fs::write(&src, "main: li r1, 41\n addi r1, r1, 1\n halt\n").unwrap();
+
+    let (out, _, ok) = hbdc_sim(&["asm", src.to_str().unwrap(), "-o", obj.to_str().unwrap()]);
+    assert!(ok, "asm failed:\n{out}");
+    assert!(out.contains("3 instructions"));
+
+    let (text, _, ok) = hbdc_sim(&["disasm", obj.to_str().unwrap()]);
+    assert!(ok);
+    assert!(text.contains("ori r1, r0, 41"));
+    assert!(text.contains("halt"));
+
+    // The object is also directly runnable.
+    let (run_out, _, ok) = hbdc_sim(&["run", obj.to_str().unwrap(), "--port", "ideal:1"]);
+    assert!(ok);
+    assert!(run_out.contains("committed      3"));
+
+    std::fs::remove_file(&src).ok();
+    std::fs::remove_file(&obj).ok();
+}
+
+#[test]
+fn analyze_prints_locality_breakdown() {
+    let (out, _, ok) = hbdc_sim(&["analyze", "bench:swim", "--banks", "4"]);
+    assert!(ok);
+    assert!(out.contains("B-same-line"));
+    assert!(out.contains("B-diff-line"));
+    assert!(out.contains("miss rate"));
+}

@@ -1,0 +1,124 @@
+//! End-to-end runs of every benchmark analog through the full stack:
+//! functional emulation → RUU/LSQ timing → port model → hierarchy.
+
+use hbdc::prelude::*;
+
+fn run(bench: &Benchmark, port: PortConfig) -> SimReport {
+    let program = bench.build(Scale::Test);
+    Simulator::new(
+        &program,
+        CpuConfig::default(),
+        HierarchyConfig::default(),
+        port,
+    )
+    .run()
+}
+
+#[test]
+fn every_benchmark_completes_under_the_lbic() {
+    for bench in all() {
+        let report = run(&bench, PortConfig::lbic(4, 2));
+        assert!(
+            report.committed > 10_000,
+            "{}: only {} instructions",
+            bench.name(),
+            report.committed
+        );
+        assert!(
+            report.ipc() > 0.5,
+            "{}: implausible IPC {}",
+            bench.name(),
+            report.ipc()
+        );
+        assert!(
+            report.l1_accesses > 0,
+            "{}: cache never touched",
+            bench.name()
+        );
+    }
+}
+
+#[test]
+fn timing_is_deterministic() {
+    let bench = by_name("compress").expect("registered");
+    let a = run(&bench, PortConfig::lbic(4, 4));
+    let b = run(&bench, PortConfig::lbic(4, 4));
+    assert_eq!(a, b);
+}
+
+#[test]
+fn committed_mix_matches_functional_mix() {
+    // The timing simulator must commit exactly the functional stream.
+    let bench = by_name("li").expect("registered");
+    let program = bench.build(Scale::Test);
+    let mut emu = Emulator::new(&program);
+    let (mut total, mut loads, mut stores) = (0u64, 0u64, 0u64);
+    while let Some(di) = emu.step() {
+        total += 1;
+        if di.inst.is_store() {
+            stores += 1;
+        } else if di.inst.is_load() {
+            loads += 1;
+        }
+    }
+    let report = run(&bench, PortConfig::Ideal { ports: 4 });
+    assert_eq!(report.committed, total);
+    assert_eq!(report.loads, loads);
+    assert_eq!(report.stores, stores);
+}
+
+#[test]
+fn forwarded_loads_never_reach_the_cache() {
+    for bench in all() {
+        let report = run(&bench, PortConfig::Ideal { ports: 16 });
+        // loads that hit the cache + forwarded loads == all loads; the
+        // cache sees loads + stores only.
+        assert!(
+            report.l1_accesses <= report.loads + report.stores,
+            "{}: {} cache accesses > {} memory instructions",
+            bench.name(),
+            report.l1_accesses,
+            report.loads + report.stores
+        );
+        assert_eq!(
+            report.l1_accesses + report.forwards,
+            report.loads + report.stores,
+            "{}: accesses + forwards must cover every memory instruction",
+            bench.name()
+        );
+    }
+}
+
+#[test]
+fn mgrid_barely_notices_replication() {
+    // Paper §3.1: with a store-to-load ratio of 0.04, mgrid's replicated
+    // cache performance is "virtually indistinguishable from ideal".
+    let bench = by_name("mgrid").expect("registered");
+    let ideal = run(&bench, PortConfig::Ideal { ports: 8 }).ipc();
+    let repl = run(&bench, PortConfig::Replicated { ports: 8 }).ipc();
+    assert!(
+        repl > 0.75 * ideal,
+        "mgrid repl {repl} should be close to ideal {ideal}"
+    );
+}
+
+#[test]
+fn store_heavy_compress_punishes_replication() {
+    let bench = by_name("compress").expect("registered");
+    let ideal = run(&bench, PortConfig::Ideal { ports: 8 });
+    let repl = run(&bench, PortConfig::Replicated { ports: 8 });
+    assert!(repl.ipc() < ideal.ipc());
+    assert!(repl.store_serializations > 0);
+}
+
+#[test]
+fn lbic_combines_on_spatially_local_codes() {
+    for name in ["gcc", "perl", "li"] {
+        let bench = by_name(name).expect("registered");
+        let report = run(&bench, PortConfig::lbic(4, 4));
+        assert!(
+            report.combined > 0,
+            "{name}: no combining on a same-line-rich code"
+        );
+    }
+}

@@ -1,0 +1,156 @@
+//! Cross-model equivalences and monotonicity properties that must hold by
+//! construction (DESIGN.md §7).
+
+use hbdc::prelude::*;
+
+/// A mixed load/store kernel with both same-line and cross-bank traffic.
+fn mixed_kernel() -> Program {
+    assemble(
+        r#"
+        .data
+        a: .space 8192
+        b: .space 8192
+        .text
+        main:
+            la   r8, a
+            la   r9, b
+            li   r15, 400
+        loop:
+            lw   r1, 0(r8)
+            lw   r2, 4(r8)
+            lw   r3, 32(r8)
+            add  r4, r1, r2
+            sw   r4, 0(r9)
+            sw   r3, 36(r9)
+            addi r8, r8, 8
+            addi r9, r9, 8
+            andi r10, r15, 63
+            bnez r10, nw
+            la   r8, a
+            la   r9, b
+        nw:
+            addi r15, r15, -1
+            bnez r15, loop
+            halt
+        "#,
+    )
+    .expect("kernel assembles")
+}
+
+fn run(program: &Program, port: PortConfig) -> SimReport {
+    Simulator::new(
+        program,
+        CpuConfig::default(),
+        HierarchyConfig::default(),
+        port,
+    )
+    .run()
+}
+
+#[test]
+fn all_single_port_models_are_equivalent() {
+    let p = mixed_kernel();
+    let ideal = run(&p, PortConfig::Ideal { ports: 1 });
+    let repl = run(&p, PortConfig::Replicated { ports: 1 });
+    let bank = run(&p, PortConfig::banked(1));
+    assert_eq!(ideal.cycles, repl.cycles, "ideal-1 vs repl-1");
+    assert_eq!(ideal.cycles, bank.cycles, "ideal-1 vs bank-1");
+    assert_eq!(ideal.committed, bank.committed);
+}
+
+#[test]
+fn lbic_mx1_with_deep_store_queue_matches_banked() {
+    // With one line port and a store queue deep enough to never fill,
+    // the LBIC grants exactly like a traditional banked cache — except
+    // that granted stores are absorbed by the store queue, which can only
+    // make it faster. IPC must therefore be >= banked and very close.
+    let p = mixed_kernel();
+    for banks in [2u32, 4] {
+        let bank = run(&p, PortConfig::banked(banks));
+        let lbic = run(
+            &p,
+            PortConfig::Lbic {
+                banks,
+                line_ports: 1,
+                store_queue: 4096,
+                policy: hbdc::core::CombinePolicy::LeadingRequest,
+            },
+        );
+        assert!(
+            lbic.cycles <= bank.cycles,
+            "{banks} banks: LBIC Mx1 {} cycles vs banked {}",
+            lbic.cycles,
+            bank.cycles
+        );
+        let ratio = bank.cycles as f64 / lbic.cycles as f64;
+        assert!(ratio < 1.10, "Mx1 LBIC should track banked: ratio {ratio}");
+    }
+}
+
+#[test]
+fn ideal_ipc_is_monotone_in_ports() {
+    let p = mixed_kernel();
+    let mut last = 0.0;
+    for ports in [1usize, 2, 4, 8] {
+        let ipc = run(&p, PortConfig::Ideal { ports }).ipc();
+        assert!(
+            ipc + 1e-9 >= last,
+            "ideal IPC decreased at {ports} ports: {ipc} < {last}"
+        );
+        last = ipc;
+    }
+}
+
+#[test]
+fn lbic_ipc_is_monotone_in_line_ports() {
+    let p = mixed_kernel();
+    let mut last = 0.0;
+    for n in [1usize, 2, 4] {
+        let ipc = run(&p, PortConfig::lbic(4, n)).ipc();
+        assert!(
+            ipc + 1e-9 >= last,
+            "LBIC IPC decreased at N={n}: {ipc} < {last}"
+        );
+        last = ipc;
+    }
+}
+
+#[test]
+fn every_model_commits_the_same_instruction_count() {
+    let p = mixed_kernel();
+    let reference = run(&p, PortConfig::Ideal { ports: 16 }).committed;
+    for port in [
+        PortConfig::Ideal { ports: 1 },
+        PortConfig::Replicated { ports: 4 },
+        PortConfig::banked(8),
+        PortConfig::lbic(2, 4),
+    ] {
+        assert_eq!(run(&p, port).committed, reference, "{port:?}");
+    }
+}
+
+#[test]
+fn bank_conflicts_decrease_with_more_banks() {
+    let p = mixed_kernel();
+    let few = run(&p, PortConfig::banked(2));
+    let many = run(&p, PortConfig::banked(16));
+    assert!(
+        many.bank_conflicts < few.bank_conflicts,
+        "16 banks {} conflicts vs 2 banks {}",
+        many.bank_conflicts,
+        few.bank_conflicts
+    );
+}
+
+#[test]
+fn true_multiporting_dominates_practical_models() {
+    // Paper §3: ideal multi-porting is the upper bound at equal port count.
+    let p = mixed_kernel();
+    for ports in [2usize, 4, 8] {
+        let ideal = run(&p, PortConfig::Ideal { ports }).ipc();
+        let repl = run(&p, PortConfig::Replicated { ports }).ipc();
+        let bank = run(&p, PortConfig::banked(ports as u32)).ipc();
+        assert!(ideal + 1e-9 >= repl, "{ports} ports: repl beat ideal");
+        assert!(ideal + 1e-9 >= bank, "{ports} ports: bank beat ideal");
+    }
+}
