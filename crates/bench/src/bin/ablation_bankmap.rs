@@ -12,7 +12,7 @@
 //!
 //! Usage: `ablation_bankmap [--scale test|small|full]`
 
-use hbdc_bench::runner::{scale_from_args, simulate};
+use hbdc_bench::runner::{scale_from_args, simulate, SpeedTally};
 use hbdc_core::PortConfig;
 use hbdc_cpu::Emulator;
 use hbdc_mem::{BankMapper, BankSelect};
@@ -44,11 +44,13 @@ fn main() {
     );
     table.numeric();
 
+    let mut tally = SpeedTally::new();
     for bench in all() {
         let mut cells = vec![bench.name().to_string()];
         for (_, select) in selects {
             let r = simulate(&bench, scale, PortConfig::Banked { banks: 8, select });
             cells.push(ipc(r.ipc()));
+            tally.add(&r);
             eprint!(".");
         }
         // Trace-level collision decomposition (window of 8 simultaneous
@@ -81,6 +83,7 @@ fn main() {
         eprintln!(" {}", bench.name());
     }
 
+    tally.print();
     println!("\nAblation A: bank-selection function, 8-bank cache\n");
     println!("{table}");
     println!(

@@ -8,7 +8,7 @@
 //!
 //! Usage: `ablation_depth [--scale test|small|full]`
 
-use hbdc_bench::runner::scale_from_args;
+use hbdc_bench::runner::{scale_from_args, SpeedTally};
 use hbdc_core::{CombinePolicy, PortConfig};
 use hbdc_cpu::{CpuConfig, Simulator};
 use hbdc_mem::HierarchyConfig;
@@ -26,6 +26,7 @@ fn main() {
     let mut table = Table::new(headers);
     table.numeric();
 
+    let mut tally = SpeedTally::new();
     for bench in all() {
         let program = bench.build(scale);
         let mut cells = vec![bench.name().to_string()];
@@ -42,6 +43,7 @@ fn main() {
             )
             .run();
             cells.push(ipc(r.ipc()));
+            tally.add(&r);
             eprint!(".");
         }
         for &depth in &sq_depths {
@@ -58,12 +60,14 @@ fn main() {
             )
             .run();
             cells.push(ipc(r.ipc()));
+            tally.add(&r);
             eprint!(".");
         }
         table.row(cells);
         eprintln!(" {}", bench.name());
     }
 
+    tally.print();
     println!("\nAblation C: 4x4 LBIC sensitivity to LSQ depth and per-bank store-queue depth\n");
     println!("{table}");
 }

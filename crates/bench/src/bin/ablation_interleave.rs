@@ -10,7 +10,7 @@
 //!
 //! Usage: `ablation_interleave [--scale test|small|full]`
 
-use hbdc_bench::runner::{scale_from_args, simulate};
+use hbdc_bench::runner::{scale_from_args, simulate, SpeedTally};
 use hbdc_core::{BankedPorts, PortConfig, PortModel};
 use hbdc_cpu::{CpuConfig, Simulator};
 use hbdc_mem::{BankMapper, HierarchyConfig};
@@ -32,6 +32,7 @@ fn main() {
     );
     table.numeric();
 
+    let mut tally = SpeedTally::new();
     for bench in all() {
         let program = bench.build(scale);
         let mut cells = vec![bench.name().to_string()];
@@ -39,6 +40,7 @@ fn main() {
         // Line-interleaved 4-bank (the paper's configuration).
         let line = simulate(&bench, scale, PortConfig::banked(4));
         cells.push(ipc(line.ipc()));
+        tally.add(&line);
         eprint!(".");
 
         // Word-interleaved 4-bank: banks selected on 8-byte words, so a
@@ -55,17 +57,20 @@ fn main() {
         )
         .run();
         cells.push(ipc(word.ipc()));
+        tally.add(&word);
         eprint!(".");
 
         for lbic in [PortConfig::lbic(4, 2), PortConfig::lbic(4, 4)] {
             let r = simulate(&bench, scale, lbic);
             cells.push(ipc(r.ipc()));
+            tally.add(&r);
             eprint!(".");
         }
         table.row(cells);
         eprintln!(" {}", bench.name());
     }
 
+    tally.print();
     println!("\nAblation D: line- vs word-interleaved banking vs LBIC (4 banks)\n");
     println!("{table}");
     println!(

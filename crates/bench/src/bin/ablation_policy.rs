@@ -8,7 +8,7 @@
 //!
 //! Usage: `ablation_policy [--scale test|small|full]`
 
-use hbdc_bench::runner::{scale_from_args, simulate};
+use hbdc_bench::runner::{scale_from_args, simulate, SpeedTally};
 use hbdc_core::{CombinePolicy, PortConfig};
 use hbdc_stats::{ipc, Table};
 use hbdc_workloads::all;
@@ -28,6 +28,7 @@ fn main() {
     let mut table = Table::new(headers);
     table.numeric();
 
+    let mut tally = SpeedTally::new();
     for bench in all() {
         let mut cells = vec![bench.name().to_string()];
         let mut vals = Vec::new();
@@ -44,6 +45,7 @@ fn main() {
             );
             vals.push(r.ipc());
             cells.push(ipc(r.ipc()));
+            tally.add(&r);
             eprint!(".");
         }
         cells.push(format!("{:+.1}%", (vals[3] / vals[2] - 1.0) * 100.0));
@@ -51,6 +53,7 @@ fn main() {
         eprintln!(" {}", bench.name());
     }
 
+    tally.print();
     println!("\nAblation B: LBIC combining policy (leading-request vs largest-group)\n");
     println!("{table}");
 }

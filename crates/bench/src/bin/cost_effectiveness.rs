@@ -9,7 +9,7 @@
 //!
 //! Usage: `cost_effectiveness [--scale test|small|full]`
 
-use hbdc_bench::runner::{scale_from_args, simulate};
+use hbdc_bench::runner::{scale_from_args, simulate, SpeedTally};
 use hbdc_core::{cost, PortConfig};
 use hbdc_stats::summary::arithmetic_mean;
 use hbdc_stats::Table;
@@ -39,12 +39,15 @@ fn main() {
     );
     table.numeric();
 
+    let mut tally = SpeedTally::new();
     for config in configs {
         let ipcs: Vec<f64> = all()
             .iter()
             .map(|b| {
                 eprint!(".");
-                simulate(b, scale, config).ipc()
+                let r = simulate(b, scale, config);
+                tally.add(&r);
+                r.ipc()
             })
             .collect();
         let mean_ipc = arithmetic_mean(&ipcs);
@@ -62,6 +65,7 @@ fn main() {
         ]);
     }
 
+    tally.print();
     println!("\nCost-effectiveness: mean IPC and peak bandwidth per unit die area\n");
     println!("{table}");
     println!(

@@ -9,7 +9,7 @@
 //!
 //! Usage: `frontend_sensitivity [--scale test|small|full]`
 
-use hbdc_bench::runner::scale_from_args;
+use hbdc_bench::runner::{scale_from_args, SpeedTally};
 use hbdc_core::PortConfig;
 use hbdc_cpu::{CpuConfig, FrontEnd, PredictorKind, Simulator};
 use hbdc_mem::HierarchyConfig;
@@ -54,6 +54,7 @@ fn main() {
     let mut table = Table::new(headers);
     table.numeric();
 
+    let mut tally = SpeedTally::new();
     for bench in all() {
         let program = bench.build(scale);
         let mut cells = vec![bench.name().to_string()];
@@ -71,6 +72,7 @@ fn main() {
                 );
                 let r = sim.run();
                 cells.push(ipc(r.ipc()));
+                tally.add(&r);
                 let (branches, mispredicts) = sim.branch_stats();
                 if branches > 0 {
                     misp_rate = mispredicts as f64 / branches as f64;
@@ -83,6 +85,7 @@ fn main() {
         eprintln!(" {}", bench.name());
     }
 
+    tally.print();
     println!("\nFront-end sensitivity: port-model comparison under real predictors\n");
     println!("{table}");
     println!(

@@ -8,7 +8,7 @@
 //!
 //! Usage: `lbic_anatomy [--scale test|small|full]`
 
-use hbdc_bench::runner::scale_from_args;
+use hbdc_bench::runner::{scale_from_args, SpeedTally};
 use hbdc_core::PortConfig;
 use hbdc_cpu::{CpuConfig, Simulator};
 use hbdc_mem::HierarchyConfig;
@@ -33,6 +33,7 @@ fn main() {
     );
     table.numeric();
 
+    let mut tally = SpeedTally::new();
     for bench in all() {
         let program = bench.build(scale);
         let mut sim = Simulator::new(
@@ -42,6 +43,7 @@ fn main() {
             PortConfig::lbic(4, 4),
         );
         let report = sim.run();
+        tally.add(&report);
         let arb = sim.port_stats();
         let granted = arb.granted().max(1);
         let offered = arb.offered().max(1);
@@ -52,7 +54,10 @@ fn main() {
             arb.grants_per_cycle()
                 .quantile(0.9)
                 .map_or("-".into(), |q| q.to_string()),
-            format!("{:.1}", arb.extra_counter("combined") as f64 / granted as f64 * 100.0),
+            format!(
+                "{:.1}",
+                arb.extra_counter("combined") as f64 / granted as f64 * 100.0
+            ),
             format!(
                 "{:.1}",
                 arb.extra_counter("bank_conflicts") as f64 / offered as f64 * 100.0
@@ -63,6 +68,7 @@ fn main() {
         eprint!(".");
     }
     eprintln!();
+    tally.print();
     println!("\nLBIC-4x4 anatomy: combining share, residual conflicts, store queues\n");
     println!("{table}");
 }

@@ -1,0 +1,48 @@
+//! Measures simulator throughput (simulated cycles per second of
+//! simulator CPU time) over the Table 3 matrix and emits
+//! `BENCH_throughput.json`, so the perf trajectory is tracked across PRs.
+//!
+//! Usage: `throughput [--scale test|small|full] [--bench <name>] [--threads N]`
+//! (default scale: `small`, the standing cross-PR measurement point).
+
+use std::time::Instant;
+
+use hbdc_bench::runner::{
+    benches_from_args, scale_from_args_or, sim_speed, simulate_matrix, table3_columns,
+};
+use hbdc_workloads::Scale;
+
+fn scale_label(scale: Scale) -> &'static str {
+    match scale {
+        Scale::Test => "test",
+        Scale::Small => "small",
+        Scale::Full => "full",
+    }
+}
+
+fn main() {
+    let scale = scale_from_args_or(Scale::Small);
+    let benches = benches_from_args();
+    let columns = table3_columns();
+
+    let start = Instant::now();
+    let matrix = simulate_matrix(&benches, scale, &columns);
+    let elapsed = start.elapsed().as_secs_f64();
+
+    let sims = benches.len() * columns.len();
+    let (cycles, sim_secs, rate) = sim_speed(matrix.iter().flatten());
+
+    // Hand-rolled JSON: the workspace deliberately carries no serializer
+    // dependency, and this schema is flat.
+    let json = format!(
+        "{{\n  \"name\": \"simulator-throughput\",\n  \"scale\": \"{}\",\n  \"sims\": {},\n  \"simulated_cycles\": {},\n  \"sim_cpu_secs\": {:.3},\n  \"cycles_per_sec\": {:.0},\n  \"harness_wall_secs\": {:.3}\n}}\n",
+        scale_label(scale),
+        sims,
+        cycles,
+        sim_secs,
+        rate,
+        elapsed,
+    );
+    std::fs::write("BENCH_throughput.json", &json).expect("write BENCH_throughput.json");
+    print!("{json}");
+}

@@ -43,13 +43,39 @@ pub fn parse_scale(s: &str) -> Result<Scale, String> {
 /// Panics with a usage message on an invalid value — these are
 /// experiment binaries, where failing loudly beats guessing.
 pub fn scale_from_args() -> Scale {
+    scale_from_args_or(Scale::Full)
+}
+
+/// Reads the scale from `argv` (`--scale <value>`), with an explicit
+/// default for binaries whose natural scale is not `full`.
+///
+/// # Panics
+///
+/// Panics with a usage message on an invalid value.
+pub fn scale_from_args_or(default: Scale) -> Scale {
     let args: Vec<String> = std::env::args().collect();
     match args.iter().position(|a| a == "--scale") {
         Some(i) => {
             let v = args.get(i + 1).map(String::as_str).unwrap_or("");
             parse_scale(v).unwrap_or_else(|e| panic!("{e}"))
         }
-        None => Scale::Full,
+        None => default,
+    }
+}
+
+/// Reads a worker-thread count from `argv` (`--threads <N>`); `None`
+/// means "use every available core".
+///
+/// # Panics
+///
+/// Panics on a non-numeric or zero value.
+pub fn threads_from_args() -> Option<usize> {
+    let args: Vec<String> = std::env::args().collect();
+    let i = args.iter().position(|a| a == "--threads")?;
+    let v = args.get(i + 1).map(String::as_str).unwrap_or("");
+    match v.parse::<usize>() {
+        Ok(n) if n > 0 => Some(n),
+        _ => panic!("--threads needs a positive integer, got `{v}`"),
     }
 }
 
@@ -101,26 +127,39 @@ impl SuiteAverages {
 ///
 /// Simulations are independent, so this is an embarrassingly parallel
 /// work queue; on an N-core machine the full-scale Table 3 matrix runs
-/// ~N times faster than the serial loop. Progress dots go to stderr.
+/// ~N times faster than the serial loop. The worker count honors
+/// `--threads N` (default: every available core). Workers hand finished
+/// reports to the calling thread over a channel, which fills the result
+/// slots and batches the progress dots through one locked stderr handle
+/// (one writer, no interleaved syscalls). A `sim-speed` summary line
+/// follows the dots.
 pub fn simulate_matrix(
     benches: &[Benchmark],
     scale: Scale,
     configs: &[(String, PortConfig)],
 ) -> Vec<Vec<SimReport>> {
+    use std::io::Write;
     use std::sync::atomic::{AtomicUsize, Ordering};
-    use std::sync::Mutex;
+    use std::sync::mpsc;
 
     let total = benches.len() * configs.len();
-    let next = AtomicUsize::new(0);
-    let results: Vec<Mutex<Option<SimReport>>> = (0..total).map(|_| Mutex::new(None)).collect();
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
+    let threads = threads_from_args()
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+        })
         .min(total.max(1));
 
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, SimReport)>();
+    let mut slots: Vec<Option<SimReport>> = (0..total).map(|_| None).collect();
+
     std::thread::scope(|scope| {
+        let next = &next;
         for _ in 0..threads {
-            scope.spawn(|| loop {
+            let tx = tx.clone();
+            scope.spawn(move || loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= total {
                     break;
@@ -128,28 +167,93 @@ pub fn simulate_matrix(
                 let bench = &benches[i / configs.len()];
                 let (_, port) = &configs[i % configs.len()];
                 let report = simulate(bench, scale, *port);
-                *results[i].lock().expect("result slot poisoned") = Some(report);
-                eprint!(".");
+                if tx.send((i, report)).is_err() {
+                    break;
+                }
             });
         }
+        drop(tx); // the receive loop ends once every worker finishes
+        let mut err = std::io::stderr().lock();
+        for (i, report) in rx {
+            debug_assert!(slots[i].is_none(), "task {i} ran twice");
+            slots[i] = Some(report);
+            let _ = write!(err, ".");
+        }
+        let _ = writeln!(err);
     });
-    eprintln!();
 
     let mut out = Vec::with_capacity(benches.len());
-    let mut it = results.into_iter();
+    let mut it = slots.into_iter();
     for _ in benches {
         let row: Vec<SimReport> = (0..configs.len())
-            .map(|_| {
-                it.next()
-                    .expect("sized above")
-                    .into_inner()
-                    .expect("result slot poisoned")
-                    .expect("every slot filled")
-            })
+            .map(|_| it.next().expect("sized above").expect("every slot filled"))
             .collect();
         out.push(row);
     }
+    print_sim_speed(out.iter().flatten());
     out
+}
+
+/// Summarizes simulator throughput over a set of finished reports.
+/// Returns `(simulated cycles, cpu seconds, cycles per cpu-second)`.
+pub fn sim_speed(
+    reports: impl IntoIterator<Item = impl std::borrow::Borrow<SimReport>>,
+) -> (u64, f64, f64) {
+    let (mut cycles, mut wall) = (0u64, 0f64);
+    for r in reports {
+        let r = r.borrow();
+        cycles += r.cycles;
+        wall += r.wall_secs;
+    }
+    let rate = if wall > 0.0 {
+        cycles as f64 / wall
+    } else {
+        0.0
+    };
+    (cycles, wall, rate)
+}
+
+/// Prints the simulator-throughput (`sim-speed`) line for finished
+/// reports to stderr, keeping experiment stdout machine-parseable.
+pub fn print_sim_speed(reports: impl IntoIterator<Item = impl std::borrow::Borrow<SimReport>>) {
+    let (cycles, wall, rate) = sim_speed(reports);
+    eprintln!("sim-speed: {rate:.0} cycles/sec ({cycles} simulated cycles in {wall:.2}s of simulator time)");
+}
+
+/// Running simulator-throughput accumulator for experiment binaries that
+/// drive [`simulate`]/`Simulator` serially instead of through
+/// [`simulate_matrix`]: feed it every finished report, then
+/// [`print`](Self::print) the `sim-speed` line on exit.
+#[derive(Debug, Default, Clone)]
+pub struct SpeedTally {
+    cycles: u64,
+    wall: f64,
+}
+
+impl SpeedTally {
+    /// Creates an empty tally.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one finished report into the tally.
+    pub fn add(&mut self, r: &SimReport) {
+        self.cycles += r.cycles;
+        self.wall += r.wall_secs;
+    }
+
+    /// Prints the `sim-speed` line for everything tallied (to stderr).
+    pub fn print(&self) {
+        let rate = if self.wall > 0.0 {
+            self.cycles as f64 / self.wall
+        } else {
+            0.0
+        };
+        eprintln!(
+            "sim-speed: {rate:.0} cycles/sec ({} simulated cycles in {:.2}s of simulator time)",
+            self.cycles, self.wall
+        );
+    }
 }
 
 /// Whether `--csv` was passed (binaries then print a CSV block after the

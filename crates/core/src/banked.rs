@@ -64,9 +64,9 @@ impl BankedPorts {
 }
 
 impl PortModel for BankedPorts {
-    fn arbitrate(&mut self, ready: &[MemRequest]) -> Vec<usize> {
+    fn arbitrate_into(&mut self, ready: &[MemRequest], granted: &mut Vec<usize>) {
+        granted.clear();
         self.taken.iter_mut().for_each(|t| *t = false);
-        let mut granted = Vec::new();
         let mut conflicts = 0u64;
         for (i, r) in ready.iter().enumerate() {
             let bank = self.mapper.bank_of(r.addr) as usize;
@@ -81,7 +81,6 @@ impl PortModel for BankedPorts {
             self.stats.bump("bank_conflicts", conflicts);
         }
         self.stats.record_round(ready.len(), granted.len());
-        granted
     }
 
     fn tick(&mut self) {

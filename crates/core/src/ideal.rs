@@ -48,10 +48,11 @@ impl IdealPorts {
 }
 
 impl PortModel for IdealPorts {
-    fn arbitrate(&mut self, ready: &[MemRequest]) -> Vec<usize> {
+    fn arbitrate_into(&mut self, ready: &[MemRequest], granted: &mut Vec<usize>) {
+        granted.clear();
         let n = ready.len().min(self.ports);
         self.stats.record_round(ready.len(), n);
-        (0..n).collect()
+        granted.extend(0..n);
     }
 
     fn tick(&mut self) {

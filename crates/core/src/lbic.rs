@@ -69,6 +69,13 @@ pub struct Lbic {
     policy: CombinePolicy,
     line_shift: u32,
     banks: Vec<Bank>,
+    // Per-cycle scratch (one slot per bank unless noted), reset at the
+    // start of each arbitration round so the hot path never allocates.
+    scratch_locked: Vec<Option<u64>>,
+    scratch_counts: Vec<usize>,
+    scratch_sq_free: Vec<usize>,
+    scratch_by_bank: Vec<Vec<usize>>,
+    scratch_lines: Vec<(u64, usize)>, // per-line counts within one bank
     stats: ArbStats,
 }
 
@@ -119,6 +126,11 @@ impl Lbic {
                     granted_this_cycle: false,
                 })
                 .collect(),
+            scratch_locked: vec![None; n_banks],
+            scratch_counts: vec![0; n_banks],
+            scratch_sq_free: vec![0; n_banks],
+            scratch_by_bank: vec![Vec::new(); n_banks],
+            scratch_lines: Vec::new(),
             stats: ArbStats::new(n_banks * line_ports),
         }
     }
@@ -144,16 +156,17 @@ impl Lbic {
 
     /// Leading-request selection: one ordered walk, first grantable
     /// reference per bank locks the line.
-    fn arbitrate_leading(&mut self, ready: &[MemRequest]) -> Vec<usize> {
+    fn arbitrate_leading(&mut self, ready: &[MemRequest], granted: &mut Vec<usize>) {
         // Per-bank cycle state: the locked line and grants so far.
-        let mut locked: Vec<Option<u64>> = vec![None; self.banks.len()];
-        let mut counts: Vec<usize> = vec![0; self.banks.len()];
-        let mut sq_free: Vec<usize> = self
-            .banks
-            .iter()
-            .map(|b| self.sq_capacity - b.store_queue.len().min(self.sq_capacity))
-            .collect();
-        let mut granted = Vec::new();
+        for slot in self.scratch_locked.iter_mut() {
+            *slot = None;
+        }
+        for count in self.scratch_counts.iter_mut() {
+            *count = 0;
+        }
+        for (k, b) in self.banks.iter().enumerate() {
+            self.scratch_sq_free[k] = self.sq_capacity - b.store_queue.len().min(self.sq_capacity);
+        }
         let mut conflicts = 0u64;
         let mut exhausted = 0u64;
         let mut sq_full = 0u64;
@@ -162,33 +175,33 @@ impl Lbic {
         for (i, r) in ready.iter().enumerate() {
             let bank = self.mapper.bank_of(r.addr) as usize;
             let line = self.line_of(r.addr);
-            match locked[bank] {
+            match self.scratch_locked[bank] {
                 None => {
-                    if r.is_store && sq_free[bank] == 0 {
+                    if r.is_store && self.scratch_sq_free[bank] == 0 {
                         sq_full += 1;
                         continue;
                     }
-                    locked[bank] = Some(line);
-                    counts[bank] = 1;
+                    self.scratch_locked[bank] = Some(line);
+                    self.scratch_counts[bank] = 1;
                     if r.is_store {
-                        sq_free[bank] -= 1;
+                        self.scratch_sq_free[bank] -= 1;
                         self.banks[bank].store_queue.push_back(r.addr);
                     }
                     granted.push(i);
                 }
                 Some(l) if l == line => {
-                    if counts[bank] >= self.line_ports {
+                    if self.scratch_counts[bank] >= self.line_ports {
                         exhausted += 1;
                         continue;
                     }
-                    if r.is_store && sq_free[bank] == 0 {
+                    if r.is_store && self.scratch_sq_free[bank] == 0 {
                         sq_full += 1;
                         continue;
                     }
-                    counts[bank] += 1;
+                    self.scratch_counts[bank] += 1;
                     combined += 1;
                     if r.is_store {
-                        sq_free[bank] -= 1;
+                        self.scratch_sq_free[bank] -= 1;
                         self.banks[bank].store_queue.push_back(r.addr);
                     }
                     granted.push(i);
@@ -199,7 +212,7 @@ impl Lbic {
             }
         }
 
-        for (bank, &c) in counts.iter().enumerate() {
+        for (bank, &c) in self.scratch_counts.iter().enumerate() {
             if c > 0 {
                 self.banks[bank].granted_this_cycle = true;
             }
@@ -216,42 +229,42 @@ impl Lbic {
         if combined > 0 {
             self.stats.bump("combined", combined);
         }
-        granted
     }
 
     /// Largest-group selection: per bank, the line with the most ready
     /// references wins (ties broken toward the oldest leading reference).
-    fn arbitrate_largest(&mut self, ready: &[MemRequest]) -> Vec<usize> {
-        let n_banks = self.banks.len();
+    fn arbitrate_largest(&mut self, ready: &[MemRequest], granted: &mut Vec<usize>) {
         // Bucket request indices by bank.
-        let mut by_bank: Vec<Vec<usize>> = vec![Vec::new(); n_banks];
+        for idxs in self.scratch_by_bank.iter_mut() {
+            idxs.clear();
+        }
         for (i, r) in ready.iter().enumerate() {
-            by_bank[self.mapper.bank_of(r.addr) as usize].push(i);
+            self.scratch_by_bank[self.mapper.bank_of(r.addr) as usize].push(i);
         }
 
-        let mut granted = Vec::new();
         let mut combined = 0u64;
         let mut sq_full = 0u64;
 
-        for (bank, idxs) in by_bank.iter().enumerate() {
-            if idxs.is_empty() {
+        for bank in 0..self.banks.len() {
+            if self.scratch_by_bank[bank].is_empty() {
                 continue;
             }
             // Count references per line, preserving first-seen order so
             // ties favour the line of the oldest reference.
-            let mut lines: Vec<(u64, usize)> = Vec::new();
-            for &i in idxs {
+            self.scratch_lines.clear();
+            for k in 0..self.scratch_by_bank[bank].len() {
+                let i = self.scratch_by_bank[bank][k];
                 let line = self.line_of(ready[i].addr);
-                match lines.iter_mut().find(|(l, _)| *l == line) {
+                match self.scratch_lines.iter_mut().find(|(l, _)| *l == line) {
                     Some((_, c)) => *c += 1,
-                    None => lines.push((line, 1)),
+                    None => self.scratch_lines.push((line, 1)),
                 }
             }
             // First-seen order breaks ties toward the oldest reference;
             // keep the first strictly-greatest count.
-            let mut best_line = lines[0].0;
-            let mut best_count = lines[0].1;
-            for &(l, c) in &lines[1..] {
+            let mut best_line = self.scratch_lines[0].0;
+            let mut best_count = self.scratch_lines[0].1;
+            for &(l, c) in &self.scratch_lines[1..] {
                 if c > best_count {
                     best_line = l;
                     best_count = c;
@@ -261,7 +274,8 @@ impl Lbic {
             let mut count = 0usize;
             let mut sq_free =
                 self.sq_capacity - self.banks[bank].store_queue.len().min(self.sq_capacity);
-            for &i in idxs {
+            for k in 0..self.scratch_by_bank[bank].len() {
+                let i = self.scratch_by_bank[bank][k];
                 if self.line_of(ready[i].addr) != best_line {
                     continue;
                 }
@@ -286,10 +300,10 @@ impl Lbic {
             if count > 0 {
                 self.banks[bank].granted_this_cycle = true;
             }
-            let losers = idxs.len()
+            let losers = self.scratch_by_bank[bank].len()
                 - granted
                     .iter()
-                    .filter(|&&g| by_bank[bank].contains(&g))
+                    .filter(|&&g| self.scratch_by_bank[bank].contains(&g))
                     .count();
             if losers > 0 {
                 self.stats.bump("bank_conflicts", losers as u64);
@@ -303,18 +317,17 @@ impl Lbic {
             self.stats.bump("sq_full_stalls", sq_full);
         }
         granted.sort_unstable();
-        granted
     }
 }
 
 impl PortModel for Lbic {
-    fn arbitrate(&mut self, ready: &[MemRequest]) -> Vec<usize> {
-        let granted = match self.policy {
-            CombinePolicy::LeadingRequest => self.arbitrate_leading(ready),
-            CombinePolicy::LargestGroup => self.arbitrate_largest(ready),
-        };
+    fn arbitrate_into(&mut self, ready: &[MemRequest], granted: &mut Vec<usize>) {
+        granted.clear();
+        match self.policy {
+            CombinePolicy::LeadingRequest => self.arbitrate_leading(ready, granted),
+            CombinePolicy::LargestGroup => self.arbitrate_largest(ready, granted),
+        }
         self.stats.record_round(ready.len(), granted.len());
-        granted
     }
 
     fn tick(&mut self) {

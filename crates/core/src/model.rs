@@ -11,9 +11,11 @@ use crate::stats::ArbStats;
 
 /// A data-cache port-arbitration model.
 ///
-/// The simulator calls [`arbitrate`](Self::arbitrate) once per cycle with
-/// the ready memory references *in age order* (oldest first) and receives
-/// the indices of the references the cache structure services this cycle.
+/// The simulator calls [`arbitrate_into`](Self::arbitrate_into) once per
+/// cycle with the ready memory references *in age order* (oldest first)
+/// and receives the indices of the references the cache structure
+/// services this cycle, written into a caller-owned buffer so the
+/// per-cycle arbitration allocates nothing.
 /// [`tick`](Self::tick) is called once at the end of every cycle so models
 /// with internal state (the LBIC's per-bank store queues) can advance.
 ///
@@ -24,8 +26,18 @@ use crate::stats::ArbStats;
 ///   (no request is refused unless a rule forbids granting it).
 pub trait PortModel {
     /// Selects which of the age-ordered `ready` references are serviced
-    /// this cycle, returning their indices in increasing order.
-    fn arbitrate(&mut self, ready: &[MemRequest]) -> Vec<usize>;
+    /// this cycle, writing their indices in increasing order into
+    /// `granted` (cleared first).
+    fn arbitrate_into(&mut self, ready: &[MemRequest], granted: &mut Vec<usize>);
+
+    /// Allocating convenience wrapper around
+    /// [`arbitrate_into`](Self::arbitrate_into), for tests and one-shot
+    /// callers.
+    fn arbitrate(&mut self, ready: &[MemRequest]) -> Vec<usize> {
+        let mut granted = Vec::new();
+        self.arbitrate_into(ready, &mut granted);
+        granted
+    }
 
     /// Advances internal state by one cycle (store-queue drain, etc.).
     fn tick(&mut self);

@@ -49,30 +49,28 @@ impl ReplicatedPorts {
 }
 
 impl PortModel for ReplicatedPorts {
-    fn arbitrate(&mut self, ready: &[MemRequest]) -> Vec<usize> {
-        let granted: Vec<usize> = if ready.is_empty() {
-            Vec::new()
+    fn arbitrate_into(&mut self, ready: &[MemRequest], granted: &mut Vec<usize>) {
+        granted.clear();
+        if ready.is_empty() {
+            // nothing to grant
         } else if ready[0].is_store {
             // Broadcast store: exclusive use of all copies this cycle.
             self.stats.bump("store_serializations", 1);
-            vec![0]
+            granted.push(0);
         } else {
-            let mut g = Vec::new();
             for (i, r) in ready.iter().enumerate() {
                 if r.is_store {
                     // A younger store blocks nothing ahead of it but
                     // cannot itself launch beside the loads.
                     break;
                 }
-                g.push(i);
-                if g.len() == self.ports {
+                granted.push(i);
+                if granted.len() == self.ports {
                     break;
                 }
             }
-            g
-        };
+        }
         self.stats.record_round(ready.len(), granted.len());
-        granted
     }
 
     fn tick(&mut self) {

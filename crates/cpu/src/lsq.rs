@@ -46,7 +46,23 @@ struct LsqEntry {
     /// Stores: the value to be written is available (loads: always true).
     data_known: bool,
     issued: bool,
+    /// Loads: sequence number of the youngest older store whose bytes
+    /// overlap this load (`NOT_MEM` if none). Addresses are oracle values
+    /// fixed at dispatch and older stores retire strictly before this
+    /// entry, so the decider never changes while it is in the queue —
+    /// precomputing it turns the per-cycle backward overlap scan into an
+    /// O(1) lookup.
+    dep_store: u64,
+    /// Loads: whether `dep_store` covers this load exactly (same address,
+    /// width fits), i.e. forwarding applies once the store's data is
+    /// available; otherwise the overlap is partial and the load waits for
+    /// the store to leave the queue.
+    exact_fit: bool,
 }
+
+/// Sentinel in `Lsq::pos_map` for sequence numbers that never entered the
+/// queue (non-memory instructions).
+const NOT_MEM: u64 = u64::MAX;
 
 /// The load/store queue (paper Table 1: 512 entries): an address reorder
 /// buffer holding all in-flight memory instructions in program order.
@@ -83,6 +99,14 @@ pub struct Lsq {
     capacity: usize,
     forwards: u64,
     stalls: LsqStalls,
+    // O(1) seq → index: `pos_map[(seq - pos_base)]` holds the dispatch
+    // ordinal of that sequence number (NOT_MEM for gaps); the entry's
+    // current index in `entries` is `ordinal - retired`. Replaces a
+    // per-call binary search on the hot mark_* paths.
+    pos_base: u64,
+    pos_map: VecDeque<u64>,
+    dispatched: u64,
+    retired: u64,
 }
 
 impl Lsq {
@@ -98,6 +122,10 @@ impl Lsq {
             capacity,
             forwards: 0,
             stalls: LsqStalls::default(),
+            pos_base: 0,
+            pos_map: VecDeque::new(),
+            dispatched: 0,
+            retired: 0,
         }
     }
 
@@ -127,9 +155,13 @@ impl Lsq {
     }
 
     fn find(&self, seq: u64) -> usize {
-        self.entries
-            .binary_search_by_key(&seq, |e| e.seq)
-            .expect("seq not in LSQ")
+        let ordinal = self
+            .pos_map
+            .get(seq.wrapping_sub(self.pos_base) as usize)
+            .copied()
+            .filter(|&o| o != NOT_MEM)
+            .expect("seq not in LSQ");
+        (ordinal - self.retired) as usize
     }
 
     /// Appends a memory instruction in program order. The effective
@@ -144,6 +176,30 @@ impl Lsq {
         if let Some(back) = self.entries.back() {
             assert!(back.seq < seq, "LSQ dispatch out of order");
         }
+        if self.entries.is_empty() {
+            self.pos_map.clear();
+            self.pos_base = seq;
+        }
+        while self.pos_map.len() < (seq - self.pos_base) as usize {
+            self.pos_map.push_back(NOT_MEM);
+        }
+        self.pos_map.push_back(self.dispatched);
+        self.dispatched += 1;
+        let mut dep_store = NOT_MEM;
+        let mut exact_fit = false;
+        if !is_store {
+            for s in self.entries.iter().rev() {
+                if !s.is_store {
+                    continue;
+                }
+                let overlap = addr < s.addr + s.width && s.addr < addr + width;
+                if overlap {
+                    dep_store = s.seq;
+                    exact_fit = s.addr == addr && width <= s.width;
+                    break; // youngest overlapping store decides
+                }
+            }
+        }
         self.entries.push_back(LsqEntry {
             seq,
             addr,
@@ -152,6 +208,8 @@ impl Lsq {
             addr_known: false,
             data_known: !is_store,
             issued: false,
+            dep_store,
+            exact_fit,
         });
     }
 
@@ -190,20 +248,25 @@ impl Lsq {
     pub fn retire(&mut self, seq: u64) {
         let front = self.entries.pop_front().expect("retire from empty LSQ");
         assert_eq!(front.seq, seq, "LSQ retire out of order");
+        let covered = (seq - self.pos_base + 1) as usize;
+        self.pos_map.drain(..covered);
+        self.pos_base = seq + 1;
+        self.retired += 1;
     }
 
-    /// Classifies entries into this cycle's ready sets.
+    /// Classifies entries into this cycle's ready sets, writing them into
+    /// the caller-owned `out` (cleared first) so the per-cycle scan
+    /// allocates nothing once the buffers have warmed up.
     ///
     /// `oldest_not_done` is the RUU's completion frontier: stores older
     /// than it (i.e. with every older instruction complete) may perform
     /// their commit-time cache access.
-    pub fn collect_ready(&mut self, oldest_not_done: u64) -> ReadyRefs {
-        let mut out = ReadyRefs::default();
+    pub fn collect_ready_into(&mut self, oldest_not_done: u64, out: &mut ReadyRefs) {
+        out.cache.clear();
+        out.forwards.clear();
         let mut prior_stores_known = true;
-        // Indices of older stores, for the backward overlap scan.
-        let mut store_idxs: Vec<usize> = Vec::new();
 
-        for (i, e) in self.entries.iter().enumerate() {
+        for e in &self.entries {
             if e.is_store {
                 if e.addr_known && e.data_known && !e.issued && e.seq < oldest_not_done {
                     out.cache.push(CacheReady {
@@ -213,7 +276,6 @@ impl Lsq {
                     });
                 }
                 prior_stores_known &= e.addr_known;
-                store_idxs.push(i);
                 continue;
             }
             // Loads.
@@ -228,21 +290,20 @@ impl Lsq {
                 self.stalls.prior_store_addr += 1;
                 continue;
             }
+            // The youngest overlapping older store was identified at
+            // dispatch; once it retires, every older overlapping store has
+            // retired too (commit is in order), so the load is clear.
             let mut blocked = false;
             let mut forward = false;
-            for &si in store_idxs.iter().rev() {
-                let s = &self.entries[si];
-                let overlap = e.addr < s.addr + s.width && s.addr < e.addr + e.width;
-                if !overlap {
-                    continue;
-                }
-                if s.addr == e.addr && e.width <= s.width && s.data_known {
+            if e.dep_store != NOT_MEM && e.dep_store >= self.pos_base {
+                let s = &self.entries[self.find(e.dep_store)];
+                debug_assert!(s.is_store && s.seq == e.dep_store);
+                if e.exact_fit && s.data_known {
                     forward = true;
                 } else {
                     blocked = true; // partial overlap or data not yet
                                     // produced: wait for the store
                 }
-                break; // youngest overlapping store decides
             }
             if blocked {
                 self.stalls.store_overlap += 1;
@@ -258,6 +319,13 @@ impl Lsq {
                 });
             }
         }
+    }
+
+    /// Classifies entries into this cycle's ready sets. Allocates; the
+    /// hot path uses [`collect_ready_into`](Self::collect_ready_into).
+    pub fn collect_ready(&mut self, oldest_not_done: u64) -> ReadyRefs {
+        let mut out = ReadyRefs::default();
+        self.collect_ready_into(oldest_not_done, &mut out);
         out
     }
 }

@@ -23,12 +23,14 @@
 ///     combined: 15,
 ///     store_serializations: 0,
 ///     port_label: "LBIC-4x2".into(),
+///     wall_secs: 0.0,
+///     cycles_per_sec: 0.0,
 /// };
 /// assert_eq!(r.ipc(), 3.0);
 /// assert!((r.mem_fraction() - 1.0 / 3.0).abs() < 1e-12);
 /// assert_eq!(r.store_to_load_ratio(), 0.25);
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct SimReport {
     /// Instructions committed.
     pub committed: u64,
@@ -62,6 +64,55 @@ pub struct SimReport {
     pub store_serializations: u64,
     /// Label of the port model under test, e.g. `"Bank-8"`.
     pub port_label: String,
+    /// Wall-clock seconds spent inside [`run`](crate::Simulator::run) —
+    /// a measurement of the *simulator*, not the simulated machine.
+    pub wall_secs: f64,
+    /// Simulated cycles per wall-clock second (simulator throughput).
+    pub cycles_per_sec: f64,
+}
+
+/// Equality covers only the simulated-machine measurements: `wall_secs`
+/// and `cycles_per_sec` describe the host run and are excluded so
+/// bit-identical simulations compare equal regardless of host timing.
+impl PartialEq for SimReport {
+    fn eq(&self, other: &Self) -> bool {
+        let SimReport {
+            committed,
+            cycles,
+            loads,
+            stores,
+            forwards,
+            l1_accesses,
+            l1_misses,
+            l1_writebacks,
+            l2_accesses,
+            l2_misses,
+            arb_offered,
+            arb_granted,
+            bank_conflicts,
+            combined,
+            store_serializations,
+            port_label,
+            wall_secs: _,
+            cycles_per_sec: _,
+        } = self;
+        *committed == other.committed
+            && *cycles == other.cycles
+            && *loads == other.loads
+            && *stores == other.stores
+            && *forwards == other.forwards
+            && *l1_accesses == other.l1_accesses
+            && *l1_misses == other.l1_misses
+            && *l1_writebacks == other.l1_writebacks
+            && *l2_accesses == other.l2_accesses
+            && *l2_misses == other.l2_misses
+            && *arb_offered == other.arb_offered
+            && *arb_granted == other.arb_granted
+            && *bank_conflicts == other.bank_conflicts
+            && *combined == other.combined
+            && *store_serializations == other.store_serializations
+            && *port_label == other.port_label
+    }
 }
 
 impl SimReport {
@@ -126,6 +177,8 @@ mod tests {
             combined: 30,
             store_serializations: 0,
             port_label: "Bank-4".into(),
+            wall_secs: 0.0,
+            cycles_per_sec: 0.0,
         }
     }
 
@@ -157,10 +210,28 @@ mod tests {
             combined: 0,
             store_serializations: 0,
             port_label: String::new(),
+            wall_secs: 0.0,
+            cycles_per_sec: 0.0,
         };
         assert_eq!(r.ipc(), 0.0);
         assert_eq!(r.mem_fraction(), 0.0);
         assert_eq!(r.store_to_load_ratio(), 0.0);
         assert_eq!(r.l1_miss_rate(), 0.0);
+    }
+
+    #[test]
+    fn equality_ignores_host_timing() {
+        let a = sample();
+        let b = SimReport {
+            wall_secs: 123.0,
+            cycles_per_sec: 456.0,
+            ..sample()
+        };
+        assert_eq!(a, b);
+        let c = SimReport {
+            cycles: a.cycles + 1,
+            ..sample()
+        };
+        assert_ne!(a, c);
     }
 }

@@ -3,7 +3,7 @@
 
 use std::cell::Cell;
 use std::cmp::Reverse;
-use std::collections::{BTreeSet, BinaryHeap, VecDeque};
+use std::collections::{BinaryHeap, VecDeque};
 
 use hbdc_isa::ArchReg;
 
@@ -88,10 +88,21 @@ pub struct Window {
     base_seq: u64,
     capacity: usize,
     producer: [Option<u64>; 64],
-    ready: BTreeSet<u64>,
+    // Ready set as a bitmap keyed by `seq % capacity`: live sequence
+    // numbers span less than `capacity`, so slots are unique. Scanning in
+    // ring order from `base_seq` recovers oldest-first iteration without
+    // the per-cycle allocation (or node churn) of an ordered set. Packed
+    // 64 slots to a word so the scan skips empty regions via
+    // `trailing_zeros` instead of testing every slot.
+    ready: Vec<u64>,
+    ready_count: usize,
     completions: BinaryHeap<Reverse<(u64, u64)>>, // (complete_at, seq)
     // Stores whose address became known since the last drain.
     addr_ready: Vec<u64>,
+    // Recycled `dependents` vectors: entries draw from this pool at
+    // dispatch and return their vector once their dependents are woken,
+    // so the steady-state hot loop performs no edge-list allocation.
+    dep_pool: Vec<Vec<Dependent>>,
     // Monotone cache for `oldest_not_done` — the Done prefix only grows.
     frontier_hint: Cell<u64>,
 }
@@ -109,9 +120,11 @@ impl Window {
             base_seq: 0,
             capacity,
             producer: [None; 64],
-            ready: BTreeSet::new(),
+            ready: vec![0; capacity.div_ceil(64)],
+            ready_count: 0,
             completions: BinaryHeap::new(),
             addr_ready: Vec::new(),
+            dep_pool: Vec::new(),
             frontier_hint: Cell::new(0),
         }
     }
@@ -143,6 +156,21 @@ impl Window {
     fn entry_mut(&mut self, seq: u64) -> &mut Entry {
         let i = self.idx(seq);
         &mut self.entries[i]
+    }
+
+    fn ready_slot(&self, seq: u64) -> usize {
+        (seq % self.capacity as u64) as usize
+    }
+
+    fn set_ready(&mut self, seq: u64) {
+        let s = self.ready_slot(seq);
+        debug_assert_eq!(
+            self.ready[s >> 6] >> (s & 63) & 1,
+            0,
+            "ready slot already set"
+        );
+        self.ready[s >> 6] |= 1 << (s & 63);
+        self.ready_count += 1;
     }
 
     /// Dispatches the next instruction in program order.
@@ -182,7 +210,7 @@ impl Window {
             self.addr_ready.push(di.seq);
         }
         let state = if remaining == 0 {
-            self.ready.insert(di.seq);
+            self.set_ready(di.seq);
             State::Ready
         } else {
             State::Waiting
@@ -192,21 +220,82 @@ impl Window {
             state,
             remaining_deps: remaining,
             addr_deps,
-            dependents: Vec::new(),
+            dependents: self.dep_pool.pop().unwrap_or_default(),
             access_done: false,
         });
     }
 
     /// Drains the stores whose effective address has become
     /// architecturally known since the last call (so the LSQ can unblock
-    /// younger loads).
-    pub fn take_addr_ready(&mut self) -> Vec<u64> {
-        std::mem::take(&mut self.addr_ready)
+    /// younger loads). The backing buffer's capacity is retained.
+    pub fn drain_addr_ready(&mut self) -> std::vec::Drain<'_, u64> {
+        self.addr_ready.drain(..)
+    }
+
+    /// Scans bitmap slots `[a, a + len)`, appending the sequence number
+    /// `seq0 + (slot - a)` for each set bit in slot order. Returns `false`
+    /// once `max` entries are collected (the caller's signal to stop).
+    fn scan_ready_span(
+        &self,
+        a: usize,
+        len: usize,
+        seq0: u64,
+        max: usize,
+        out: &mut Vec<u64>,
+    ) -> bool {
+        let b = a + len;
+        let mut w = a >> 6;
+        while (w << 6) < b {
+            let mut bits = self.ready[w];
+            if (w << 6) < a {
+                bits &= !0 << (a & 63);
+            }
+            if (w << 6) + 64 > b {
+                bits &= !0 >> (64 - (b - (w << 6)));
+            }
+            while bits != 0 {
+                let slot = (w << 6) + bits.trailing_zeros() as usize;
+                out.push(seq0 + (slot - a) as u64);
+                if out.len() == max {
+                    return false;
+                }
+                bits &= bits - 1;
+            }
+            w += 1;
+        }
+        true
+    }
+
+    /// Fills `out` with up to `max` ready-to-issue sequence numbers,
+    /// oldest first. Clears `out` first; never allocates once `out` has
+    /// warmed up.
+    pub fn fill_ready(&self, max: usize, out: &mut Vec<u64>) {
+        out.clear();
+        if self.ready_count == 0 || max == 0 {
+            return;
+        }
+        let max = max.min(self.ready_count);
+        // The live window occupies `entries.len()` ring slots starting at
+        // the base sequence's slot; a wrap splits it into two linear spans.
+        let start = self.ready_slot(self.base_seq);
+        let span1 = (self.capacity - start).min(self.entries.len());
+        let span2 = self.entries.len() - span1;
+        if self.scan_ready_span(start, span1, self.base_seq, max, out) && span2 > 0 {
+            self.scan_ready_span(0, span2, self.base_seq + span1 as u64, max, out);
+        }
+    }
+
+    /// Number of entries currently ready to issue.
+    pub fn ready_count(&self) -> usize {
+        self.ready_count
     }
 
     /// Sequence numbers currently ready to issue, oldest first.
+    /// Allocates; the hot path uses [`fill_ready`](Self::fill_ready).
     pub fn ready_seqs(&self) -> Vec<u64> {
-        self.ready.iter().copied().collect()
+        let mut out = Vec::with_capacity(self.ready_count);
+        self.fill_ready(usize::MAX, &mut out);
+        out
     }
 
     /// The instruction record at `seq`.
@@ -222,7 +311,13 @@ impl Window {
     ///
     /// Panics if the entry is not ready.
     pub fn mark_issued(&mut self, seq: u64, complete_at: Option<u64>) {
-        assert!(self.ready.remove(&seq), "issue of non-ready entry");
+        let s = self.ready_slot(seq);
+        assert!(
+            self.ready[s >> 6] >> (s & 63) & 1 == 1,
+            "issue of non-ready entry"
+        );
+        self.ready[s >> 6] &= !(1 << (s & 63));
+        self.ready_count -= 1;
         self.entry_mut(seq).state = State::Issued;
         if let Some(at) = complete_at {
             self.completions.push(Reverse((at, seq)));
@@ -247,13 +342,13 @@ impl Window {
             if seq < self.base_seq {
                 continue; // already committed (defensive)
             }
-            let dependents = {
+            let mut dependents = {
                 let e = self.entry_mut(seq);
                 debug_assert_eq!(e.state, State::Issued);
                 e.state = State::Done;
                 std::mem::take(&mut e.dependents)
             };
-            for dep in dependents {
+            for &dep in &dependents {
                 if dep.seq < self.base_seq {
                     continue;
                 }
@@ -273,9 +368,11 @@ impl Window {
                     self.addr_ready.push(dep.seq);
                 }
                 if woken {
-                    self.ready.insert(dep.seq);
+                    self.set_ready(dep.seq);
                 }
             }
+            dependents.clear();
+            self.dep_pool.push(dependents);
         }
     }
 
@@ -329,11 +426,11 @@ impl Window {
         c
     }
 
-    /// Retires up to `max` instructions from the front, in order. An entry
-    /// retires if it is Done and, for stores, its cache access has been
-    /// performed. Returns the retired instructions.
-    pub fn commit(&mut self, max: u32) -> Vec<DynInst> {
-        let mut out = Vec::new();
+    /// Retires up to `max` instructions from the front, in order, into
+    /// `out` (cleared first). An entry retires if it is Done and, for
+    /// stores, its cache access has been performed.
+    pub fn commit_into(&mut self, max: u32, out: &mut Vec<DynInst>) {
+        out.clear();
         while out.len() < max as usize {
             match self.entries.front() {
                 Some(e) if e.state == State::Done => {
@@ -342,11 +439,24 @@ impl Window {
                     }
                     let e = self.entries.pop_front().expect("front checked");
                     self.base_seq += 1;
+                    if e.dependents.capacity() > 0 {
+                        let mut deps = e.dependents;
+                        deps.clear();
+                        self.dep_pool.push(deps);
+                    }
                     out.push(e.di);
                 }
                 _ => break,
             }
         }
+    }
+
+    /// Retires up to `max` instructions from the front, in order,
+    /// returning them. Allocates; the hot path uses
+    /// [`commit_into`](Self::commit_into).
+    pub fn commit(&mut self, max: u32) -> Vec<DynInst> {
+        let mut out = Vec::new();
+        self.commit_into(max, &mut out);
         out
     }
 }

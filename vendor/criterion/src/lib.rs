@@ -1,0 +1,190 @@
+//! Offline, API-compatible subset of the `criterion` crate.
+//!
+//! The build environment for this workspace cannot reach crates.io, so
+//! this shim provides the benchmarking surface the `hbdc-bench` benches
+//! use — [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`Bencher::iter`], and the [`criterion_group!`]/[`criterion_main!`]
+//! macros — backed by a plain wall-clock measurement loop instead of
+//! criterion's statistical machinery. Each benchmark reports the median
+//! of `sample_size` timed samples.
+
+#![forbid(unsafe_code)]
+
+use std::time::Instant;
+
+/// Opaque value sink (re-exported for convenience; benches may also use
+/// `std::hint::black_box` directly).
+pub use std::hint::black_box;
+
+/// The measurement driver passed to bench closures.
+pub struct Bencher {
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `f`, printing the median time per iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm up and pick an iteration count that runs ≥ ~2ms per
+        // sample, so cheap closures aren't dominated by timer noise.
+        let mut iters = 1u64;
+        let per_iter = loop {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let dt = t0.elapsed();
+            if dt.as_millis() >= 2 || iters >= 1 << 20 {
+                break dt.as_secs_f64() / iters as f64;
+            }
+            iters *= 2;
+        };
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        samples.push(per_iter);
+        for _ in 1..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            samples.push(t0.elapsed().as_secs_f64() / iters as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let median = samples[samples.len() / 2];
+        println!(
+            "    time: {} per iter ({iters} iters/sample)",
+            human(median)
+        );
+    }
+}
+
+fn human(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// The top-level benchmark context (mirrors `criterion::Criterion`).
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, name: impl AsRef<str>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        println!("bench: {}", name.as_ref());
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl AsRef<str>) -> BenchmarkGroup<'_> {
+        println!("group: {}", name.as_ref());
+        BenchmarkGroup {
+            parent: self,
+            sample_size: None,
+        }
+    }
+}
+
+/// A group of related benchmarks (mirrors `criterion::BenchmarkGroup`).
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Runs one named benchmark within the group.
+    pub fn bench_function<F>(&mut self, name: impl AsRef<str>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        println!("bench: {}", name.as_ref());
+        let mut b = Bencher {
+            sample_size: self.sample_size.unwrap_or(self.parent.sample_size),
+        };
+        f(&mut b);
+        self
+    }
+
+    /// Ends the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Declares a group-runner function from bench functions (mirrors
+/// `criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($bench:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($bench(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` from group-runner functions (mirrors
+/// `criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_the_closure() {
+        let mut c = Criterion::default();
+        let mut ran = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| ran += 1));
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn groups_honor_sample_size() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3);
+        let mut ran = 0u64;
+        g.bench_function("smoke", |b| b.iter(|| ran += 1));
+        g.finish();
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn human_units() {
+        assert!(human(2.0).ends_with(" s"));
+        assert!(human(2e-3).ends_with(" ms"));
+        assert!(human(2e-6).ends_with(" µs"));
+        assert!(human(2e-9).ends_with(" ns"));
+    }
+}
