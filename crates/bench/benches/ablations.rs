@@ -56,6 +56,7 @@ fn bench_policy(c: &mut Criterion) {
                             policy,
                         },
                     )
+                    .unwrap()
                     .ipc(),
                 )
             })
@@ -84,6 +85,7 @@ fn bench_depth(c: &mut Criterion) {
                         PortConfig::lbic(4, 4),
                     )
                     .run()
+                    .unwrap()
                     .ipc(),
                 )
             })

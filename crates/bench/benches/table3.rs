@@ -21,7 +21,7 @@ fn bench_table3(c: &mut Criterion) {
     ];
     for (name, port) in configs {
         group.bench_function(name, |b| {
-            b.iter(|| black_box(simulate(&bench, Scale::Test, port).ipc()))
+            b.iter(|| black_box(simulate(&bench, Scale::Test, port).unwrap().ipc()))
         });
     }
     group.finish();

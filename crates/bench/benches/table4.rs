@@ -15,7 +15,13 @@ fn bench_table4(c: &mut Criterion) {
     let bench = by_name("swim").expect("registered benchmark");
     for (m, n) in [(2u32, 2usize), (4, 2), (4, 4)] {
         group.bench_function(format!("lbic-{m}x{n}"), |b| {
-            b.iter(|| black_box(simulate(&bench, Scale::Test, PortConfig::lbic(m, n)).ipc()))
+            b.iter(|| {
+                black_box(
+                    simulate(&bench, Scale::Test, PortConfig::lbic(m, n))
+                        .unwrap()
+                        .ipc(),
+                )
+            })
         });
     }
     group.finish();

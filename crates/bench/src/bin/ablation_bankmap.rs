@@ -12,7 +12,7 @@
 //!
 //! Usage: `ablation_bankmap [--scale test|small|full]`
 
-use hbdc_bench::runner::{scale_from_args, simulate, SpeedTally};
+use hbdc_bench::runner::{scale_from_args, sim_ok, simulate, SpeedTally};
 use hbdc_core::PortConfig;
 use hbdc_cpu::Emulator;
 use hbdc_mem::{BankMapper, BankSelect};
@@ -48,7 +48,11 @@ fn main() {
     for bench in all() {
         let mut cells = vec![bench.name().to_string()];
         for (_, select) in selects {
-            let r = simulate(&bench, scale, PortConfig::Banked { banks: 8, select });
+            let r = sim_ok(simulate(
+                &bench,
+                scale,
+                PortConfig::Banked { banks: 8, select },
+            ));
             cells.push(ipc(r.ipc()));
             tally.add(&r);
             eprint!(".");

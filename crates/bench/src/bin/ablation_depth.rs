@@ -8,7 +8,7 @@
 //!
 //! Usage: `ablation_depth [--scale test|small|full]`
 
-use hbdc_bench::runner::{scale_from_args, SpeedTally};
+use hbdc_bench::runner::{scale_from_args, sim_ok, SpeedTally};
 use hbdc_core::{CombinePolicy, PortConfig};
 use hbdc_cpu::{CpuConfig, Simulator};
 use hbdc_mem::HierarchyConfig;
@@ -35,30 +35,34 @@ fn main() {
                 lsq_size: depth,
                 ..CpuConfig::default()
             };
-            let r = Simulator::new(
-                &program,
-                cfg,
-                HierarchyConfig::default(),
-                PortConfig::lbic(4, 4),
-            )
-            .run();
+            let r = sim_ok(
+                Simulator::new(
+                    &program,
+                    cfg,
+                    HierarchyConfig::default(),
+                    PortConfig::lbic(4, 4),
+                )
+                .run(),
+            );
             cells.push(ipc(r.ipc()));
             tally.add(&r);
             eprint!(".");
         }
         for &depth in &sq_depths {
-            let r = Simulator::new(
-                &program,
-                CpuConfig::default(),
-                HierarchyConfig::default(),
-                PortConfig::Lbic {
-                    banks: 4,
-                    line_ports: 4,
-                    store_queue: depth,
-                    policy: CombinePolicy::LeadingRequest,
-                },
-            )
-            .run();
+            let r = sim_ok(
+                Simulator::new(
+                    &program,
+                    CpuConfig::default(),
+                    HierarchyConfig::default(),
+                    PortConfig::Lbic {
+                        banks: 4,
+                        line_ports: 4,
+                        store_queue: depth,
+                        policy: CombinePolicy::LeadingRequest,
+                    },
+                )
+                .run(),
+            );
             cells.push(ipc(r.ipc()));
             tally.add(&r);
             eprint!(".");

@@ -10,7 +10,7 @@
 //!
 //! Usage: `ablation_interleave [--scale test|small|full]`
 
-use hbdc_bench::runner::{scale_from_args, simulate, SpeedTally};
+use hbdc_bench::runner::{scale_from_args, sim_ok, simulate, SpeedTally};
 use hbdc_core::{BankedPorts, PortConfig, PortModel};
 use hbdc_cpu::{CpuConfig, Simulator};
 use hbdc_mem::{BankMapper, HierarchyConfig};
@@ -38,7 +38,7 @@ fn main() {
         let mut cells = vec![bench.name().to_string()];
 
         // Line-interleaved 4-bank (the paper's configuration).
-        let line = simulate(&bench, scale, PortConfig::banked(4));
+        let line = sim_ok(simulate(&bench, scale, PortConfig::banked(4)));
         cells.push(ipc(line.ipc()));
         tally.add(&line);
         eprint!(".");
@@ -49,19 +49,21 @@ fn main() {
         // storage here.
         let word_model: Box<dyn PortModel> =
             Box::new(BankedPorts::with_mapper(BankMapper::bit_select(4, 8)));
-        let word = Simulator::with_port_model(
-            &program,
-            CpuConfig::default(),
-            HierarchyConfig::default(),
-            word_model,
-        )
-        .run();
+        let word = sim_ok(
+            Simulator::with_port_model(
+                &program,
+                CpuConfig::default(),
+                HierarchyConfig::default(),
+                word_model,
+            )
+            .run(),
+        );
         cells.push(ipc(word.ipc()));
         tally.add(&word);
         eprint!(".");
 
         for lbic in [PortConfig::lbic(4, 2), PortConfig::lbic(4, 4)] {
-            let r = simulate(&bench, scale, lbic);
+            let r = sim_ok(simulate(&bench, scale, lbic));
             cells.push(ipc(r.ipc()));
             tally.add(&r);
             eprint!(".");

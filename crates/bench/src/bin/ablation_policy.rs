@@ -8,7 +8,7 @@
 //!
 //! Usage: `ablation_policy [--scale test|small|full]`
 
-use hbdc_bench::runner::{scale_from_args, simulate, SpeedTally};
+use hbdc_bench::runner::{scale_from_args, sim_ok, simulate, SpeedTally};
 use hbdc_core::{CombinePolicy, PortConfig};
 use hbdc_stats::{ipc, Table};
 use hbdc_workloads::all;
@@ -33,7 +33,7 @@ fn main() {
         let mut cells = vec![bench.name().to_string()];
         let mut vals = Vec::new();
         for &(_, banks, line_ports, policy) in &configs {
-            let r = simulate(
+            let r = sim_ok(simulate(
                 &bench,
                 scale,
                 PortConfig::Lbic {
@@ -42,7 +42,7 @@ fn main() {
                     store_queue: 8,
                     policy,
                 },
-            );
+            ));
             vals.push(r.ipc());
             cells.push(ipc(r.ipc()));
             tally.add(&r);

@@ -9,7 +9,7 @@
 //!
 //! Usage: `cost_effectiveness [--scale test|small|full]`
 
-use hbdc_bench::runner::{scale_from_args, simulate, SpeedTally};
+use hbdc_bench::runner::{scale_from_args, sim_ok, simulate, SpeedTally};
 use hbdc_core::{cost, PortConfig};
 use hbdc_stats::summary::arithmetic_mean;
 use hbdc_stats::Table;
@@ -45,7 +45,7 @@ fn main() {
             .iter()
             .map(|b| {
                 eprint!(".");
-                let r = simulate(b, scale, config);
+                let r = sim_ok(simulate(b, scale, config));
                 tally.add(&r);
                 r.ipc()
             })

@@ -9,7 +9,7 @@
 //!
 //! Usage: `frontend_sensitivity [--scale test|small|full]`
 
-use hbdc_bench::runner::{scale_from_args, SpeedTally};
+use hbdc_bench::runner::{scale_from_args, sim_ok, SpeedTally};
 use hbdc_core::PortConfig;
 use hbdc_cpu::{CpuConfig, FrontEnd, PredictorKind, Simulator};
 use hbdc_mem::HierarchyConfig;
@@ -70,7 +70,7 @@ fn main() {
                     HierarchyConfig::default(),
                     port,
                 );
-                let r = sim.run();
+                let r = sim_ok(sim.run());
                 cells.push(ipc(r.ipc()));
                 tally.add(&r);
                 let (branches, mispredicts) = sim.branch_stats();

@@ -8,7 +8,7 @@
 //!
 //! Usage: `lbic_anatomy [--scale test|small|full]`
 
-use hbdc_bench::runner::{scale_from_args, SpeedTally};
+use hbdc_bench::runner::{scale_from_args, sim_ok, SpeedTally};
 use hbdc_core::PortConfig;
 use hbdc_cpu::{CpuConfig, Simulator};
 use hbdc_mem::HierarchyConfig;
@@ -42,7 +42,7 @@ fn main() {
             HierarchyConfig::default(),
             PortConfig::lbic(4, 4),
         );
-        let report = sim.run();
+        let report = sim_ok(sim.run());
         tally.add(&report);
         let arb = sim.port_stats();
         let granted = arb.granted().max(1);

@@ -8,10 +8,11 @@ use hbdc_bench::runner::{
     benches_from_args, csv_from_args, scale_from_args, simulate_matrix, table3_columns,
     SuiteAverages,
 };
+use hbdc_cpu::SimReport;
 use hbdc_stats::{ipc, Table};
 use hbdc_workloads::Suite;
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let scale = scale_from_args();
     let columns = table3_columns();
     let benches = benches_from_args();
@@ -21,18 +22,28 @@ fn main() {
     let mut table = Table::new(headers);
     table.numeric();
 
-    let matrix = simulate_matrix(&benches, scale, &columns);
+    let run = simulate_matrix(&benches, scale, &columns);
     let mut averages = SuiteAverages::new();
     let mut printed_fp_rule = false;
-    for (bench, reports) in benches.iter().zip(&matrix) {
+    for (bench, reports) in benches.iter().zip(&run.reports) {
         if bench.suite() == Suite::Fp && !printed_fp_rule {
             table.rule();
             printed_fp_rule = true;
         }
         let mut cells = vec![bench.name().to_string()];
-        let row: Vec<f64> = reports.iter().map(|r| r.ipc()).collect();
-        cells.extend(row.iter().map(|&v| ipc(v)));
-        averages.push(bench.suite(), row);
+        cells.extend(reports.iter().map(|r| {
+            r.as_ref()
+                .map_or_else(|| "--".to_string(), |r| ipc(r.ipc()))
+        }));
+        // Only complete rows enter the suite averages; a failed cell
+        // leaves a visible "--" in the table instead of skewing means.
+        if let Some(row) = reports
+            .iter()
+            .map(|r| r.as_ref().map(SimReport::ipc))
+            .collect::<Option<Vec<f64>>>()
+        {
+            averages.push(bench.suite(), row);
+        }
         table.row(cells);
     }
 
@@ -78,4 +89,6 @@ fn main() {
             (fp[10] / fp[7] - 1.0) * 100.0,
         );
     }
+
+    run.exit_code()
 }

@@ -20,17 +20,19 @@ fn scale_label(scale: Scale) -> &'static str {
     }
 }
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let scale = scale_from_args_or(Scale::Small);
     let benches = benches_from_args();
     let columns = table3_columns();
 
     let start = Instant::now();
-    let matrix = simulate_matrix(&benches, scale, &columns);
+    let run = simulate_matrix(&benches, scale, &columns);
     let elapsed = start.elapsed().as_secs_f64();
 
-    let sims = benches.len() * columns.len();
-    let (cycles, sim_secs, rate) = sim_speed(matrix.iter().flatten());
+    // Failed cells contribute no cycles; `sims` counts finished runs so
+    // the throughput quotient stays honest on a partial matrix.
+    let sims = run.reports.iter().flatten().flatten().count();
+    let (cycles, sim_secs, rate) = sim_speed(run.reports.iter().flatten().flatten());
 
     // Hand-rolled JSON: the workspace deliberately carries no serializer
     // dependency, and this schema is flat.
@@ -45,4 +47,5 @@ fn main() {
     );
     std::fs::write("BENCH_throughput.json", &json).expect("write BENCH_throughput.json");
     print!("{json}");
+    run.exit_code()
 }

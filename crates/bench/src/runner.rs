@@ -2,7 +2,7 @@
 //! suite-average bookkeeping.
 
 use hbdc_core::PortConfig;
-use hbdc_cpu::{CpuConfig, SimReport, Simulator};
+use hbdc_cpu::{CpuConfig, SimError, SimReport, Simulator};
 use hbdc_mem::HierarchyConfig;
 use hbdc_stats::summary::arithmetic_mean;
 use hbdc_workloads::{Benchmark, Scale, Suite};
@@ -11,15 +11,42 @@ use hbdc_workloads::{Benchmark, Scale, Suite};
 ///
 /// Uses the paper's Table 1 machine and memory hierarchy. The run length
 /// is whatever the kernel's `scale` dictates (kernels halt on their own).
-pub fn simulate(bench: &Benchmark, scale: Scale, port: PortConfig) -> SimReport {
+///
+/// # Errors
+///
+/// Propagates any [`SimError`] from configuration or the run (deadlock
+/// watchdog, cycle cap, invariant auditor).
+pub fn simulate(bench: &Benchmark, scale: Scale, port: PortConfig) -> Result<SimReport, SimError> {
+    simulate_with(bench, scale, port, CpuConfig::default())
+}
+
+/// [`simulate`] with an explicit machine configuration (auditing on, a
+/// tighter cycle cap, non-default widths).
+///
+/// # Errors
+///
+/// Propagates any [`SimError`] from configuration or the run.
+pub fn simulate_with(
+    bench: &Benchmark,
+    scale: Scale,
+    port: PortConfig,
+    cpu_cfg: CpuConfig,
+) -> Result<SimReport, SimError> {
     let program = bench.build(scale);
-    Simulator::new(
-        &program,
-        CpuConfig::default(),
-        HierarchyConfig::default(),
-        port,
-    )
-    .run()
+    Simulator::try_new(&program, cpu_cfg, HierarchyConfig::default(), port)?.run()
+}
+
+/// Unwraps a simulation result in an experiment binary: on failure,
+/// prints the error to stderr and exits with status 2.
+///
+/// Experiment binaries have no meaningful partial output for a single
+/// failed run (unlike [`simulate_matrix`], which completes the rest of
+/// the matrix), so failing loudly and immediately is the right behavior.
+pub fn sim_ok(result: Result<SimReport, SimError>) -> SimReport {
+    result.unwrap_or_else(|e| {
+        eprintln!("simulation failed: {e}");
+        std::process::exit(2);
+    })
 }
 
 /// Parses a `--scale` CLI value.
@@ -36,46 +63,44 @@ pub fn parse_scale(s: &str) -> Result<Scale, String> {
     }
 }
 
+/// Reports a command-line usage problem and exits with status 2 (the
+/// conventional usage-error code), without the panic machinery's
+/// backtrace noise.
+fn usage_bail(msg: &str) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(2);
+}
+
 /// Reads the scale from `argv` (`--scale <value>`), defaulting to `full`.
-///
-/// # Panics
-///
-/// Panics with a usage message on an invalid value — these are
-/// experiment binaries, where failing loudly beats guessing.
+/// Prints a usage message and exits with status 2 on an invalid value.
 pub fn scale_from_args() -> Scale {
     scale_from_args_or(Scale::Full)
 }
 
 /// Reads the scale from `argv` (`--scale <value>`), with an explicit
-/// default for binaries whose natural scale is not `full`.
-///
-/// # Panics
-///
-/// Panics with a usage message on an invalid value.
+/// default for binaries whose natural scale is not `full`. Prints a
+/// usage message and exits with status 2 on an invalid value.
 pub fn scale_from_args_or(default: Scale) -> Scale {
     let args: Vec<String> = std::env::args().collect();
     match args.iter().position(|a| a == "--scale") {
         Some(i) => {
             let v = args.get(i + 1).map(String::as_str).unwrap_or("");
-            parse_scale(v).unwrap_or_else(|e| panic!("{e}"))
+            parse_scale(v).unwrap_or_else(|e| usage_bail(&e))
         }
         None => default,
     }
 }
 
 /// Reads a worker-thread count from `argv` (`--threads <N>`); `None`
-/// means "use every available core".
-///
-/// # Panics
-///
-/// Panics on a non-numeric or zero value.
+/// means "use every available core". Prints a usage message and exits
+/// with status 2 on a non-numeric or zero value.
 pub fn threads_from_args() -> Option<usize> {
     let args: Vec<String> = std::env::args().collect();
     let i = args.iter().position(|a| a == "--threads")?;
     let v = args.get(i + 1).map(String::as_str).unwrap_or("");
     match v.parse::<usize>() {
         Ok(n) if n > 0 => Some(n),
-        _ => panic!("--threads needs a positive integer, got `{v}`"),
+        _ => usage_bail(&format!("--threads needs a positive integer, got `{v}`")),
     }
 }
 
@@ -122,23 +147,162 @@ impl SuiteAverages {
     }
 }
 
+/// One failed matrix job: which cell failed, how many attempts it got,
+/// and the error (or panic payload) that killed it.
+#[derive(Debug, Clone)]
+pub struct JobFailure {
+    /// Benchmark name of the failed cell.
+    pub bench: String,
+    /// Config label of the failed cell.
+    pub config: String,
+    /// Attempts made (the runner retries a failed job once).
+    pub attempts: u32,
+    /// Rendered [`SimError`] or panic payload from the final attempt.
+    pub error: String,
+}
+
+impl std::fmt::Display for JobFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} under {} failed after {} attempt{}: {}",
+            self.bench,
+            self.config,
+            self.attempts,
+            if self.attempts == 1 { "" } else { "s" },
+            self.error
+        )
+    }
+}
+
+/// The outcome of a fault-tolerant matrix run: every cell's report in
+/// `[bench][config]` order (`None` where the job failed), plus a failure
+/// record per dead cell.
+#[derive(Debug, Clone)]
+pub struct MatrixRun {
+    /// Reports in `[bench][config]` order; `None` marks a failed job.
+    pub reports: Vec<Vec<Option<SimReport>>>,
+    /// One record per failed job (empty on a clean run).
+    pub failures: Vec<JobFailure>,
+}
+
+impl MatrixRun {
+    /// Whether every job produced a report.
+    pub fn is_complete(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// Prints one line per failure to stderr (no-op on a clean run).
+    pub fn print_failure_summary(&self) {
+        if self.failures.is_empty() {
+            return;
+        }
+        eprintln!(
+            "{} of {} matrix jobs failed:",
+            self.failures.len(),
+            self.reports.iter().map(Vec::len).sum::<usize>()
+        );
+        for f in &self.failures {
+            eprintln!("  {f}");
+        }
+    }
+
+    /// Unwraps a run that must be complete (golden tests, callers with no
+    /// partial-output story), panicking with the failure summary if any
+    /// job died.
+    ///
+    /// # Panics
+    ///
+    /// Panics listing every failure if the run was not complete.
+    pub fn expect_complete(self) -> Vec<Vec<SimReport>> {
+        assert!(
+            self.failures.is_empty(),
+            "matrix run incomplete: {:?}",
+            self.failures
+        );
+        self.reports
+            .into_iter()
+            .map(|row| row.into_iter().flatten().collect())
+            .collect()
+    }
+
+    /// The exit code a binary should end with: 0 for a clean run, 1 if
+    /// any job failed (partial results were still printed).
+    pub fn exit_code(&self) -> std::process::ExitCode {
+        if self.is_complete() {
+            std::process::ExitCode::SUCCESS
+        } else {
+            std::process::ExitCode::from(1)
+        }
+    }
+}
+
+/// Name prefix for matrix worker threads; the panic hook uses it to keep
+/// an intentionally-caught job panic from spraying stderr.
+const WORKER_PREFIX: &str = "hbdc-job";
+
+/// Silences default panic output from matrix worker threads (their
+/// panics are caught, recorded as [`JobFailure`]s, and reported in the
+/// failure summary); panics anywhere else keep the previous hook.
+fn install_worker_panic_hook() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let in_worker = std::thread::current()
+                .name()
+                .is_some_and(|n| n.starts_with(WORKER_PREFIX));
+            if !in_worker {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// Renders a caught panic payload for a [`JobFailure`] record.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("panic: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("panic: {s}")
+    } else {
+        "panic: <non-string payload>".to_string()
+    }
+}
+
 /// Runs the full (benchmark x port-config) matrix across OS threads,
-/// returning reports in `[bench][config]` order.
+/// returning a [`MatrixRun`] with reports in `[bench][config]` order.
 ///
 /// Simulations are independent, so this is an embarrassingly parallel
 /// work queue; on an N-core machine the full-scale Table 3 matrix runs
 /// ~N times faster than the serial loop. The worker count honors
 /// `--threads N` (default: every available core). Workers hand finished
 /// reports to the calling thread over a channel, which fills the result
-/// slots and batches the progress dots through one locked stderr handle
-/// (one writer, no interleaved syscalls). A `sim-speed` summary line
-/// follows the dots.
+/// slots and batches the progress marks through one locked stderr handle
+/// (one writer, no interleaved syscalls; `.` per success, `x` per
+/// failure). A `sim-speed` summary line follows the marks.
+///
+/// **Fault tolerance:** a job that fails — a [`SimError`], or a panic
+/// caught at the job boundary — is retried once, then recorded as a
+/// [`JobFailure`]; the rest of the matrix still completes. One diverging
+/// cell costs one cell, not a whole Table 3 overnight run.
 pub fn simulate_matrix(
     benches: &[Benchmark],
     scale: Scale,
     configs: &[(String, PortConfig)],
-) -> Vec<Vec<SimReport>> {
+) -> MatrixRun {
+    simulate_matrix_with(benches, scale, configs, CpuConfig::default())
+}
+
+/// [`simulate_matrix`] with an explicit machine configuration.
+pub fn simulate_matrix_with(
+    benches: &[Benchmark],
+    scale: Scale,
+    configs: &[(String, PortConfig)],
+    cpu_cfg: CpuConfig,
+) -> MatrixRun {
     use std::io::Write;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::mpsc;
 
@@ -150,48 +314,90 @@ pub fn simulate_matrix(
                 .unwrap_or(4)
         })
         .min(total.max(1));
+    install_worker_panic_hook();
 
+    type JobResult = Result<SimReport, String>;
     let next = AtomicUsize::new(0);
-    let (tx, rx) = mpsc::channel::<(usize, SimReport)>();
-    let mut slots: Vec<Option<SimReport>> = (0..total).map(|_| None).collect();
+    let (tx, rx) = mpsc::channel::<(usize, JobResult, u32)>();
+    let mut slots: Vec<Option<JobResult>> = (0..total).map(|_| None).collect();
+    let mut attempts_by_slot: Vec<u32> = vec![0; total];
 
     std::thread::scope(|scope| {
         let next = &next;
-        for _ in 0..threads {
+        for w in 0..threads {
             let tx = tx.clone();
-            scope.spawn(move || loop {
+            let worker = std::thread::Builder::new().name(format!("{WORKER_PREFIX}-{w}"));
+            let body = move || loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= total {
                     break;
                 }
                 let bench = &benches[i / configs.len()];
                 let (_, port) = &configs[i % configs.len()];
-                let report = simulate(bench, scale, *port);
-                if tx.send((i, report)).is_err() {
+                let run_once = || -> JobResult {
+                    match catch_unwind(AssertUnwindSafe(|| {
+                        simulate_with(bench, scale, *port, cpu_cfg)
+                    })) {
+                        Ok(Ok(report)) => Ok(report),
+                        Ok(Err(e)) => Err(e.to_string()),
+                        Err(payload) => Err(panic_message(payload)),
+                    }
+                };
+                let mut attempts = 1;
+                let mut result = run_once();
+                if result.is_err() {
+                    // One retry guards against transient host conditions
+                    // (simulations themselves are deterministic).
+                    attempts = 2;
+                    result = run_once();
+                }
+                if tx.send((i, result, attempts)).is_err() {
                     break;
                 }
-            });
+            };
+            if let Err(e) = worker.spawn_scoped(scope, body) {
+                // Could not spawn this worker (resource limits); the ones
+                // already running will drain the queue.
+                eprintln!("warning: failed to spawn matrix worker: {e}");
+            }
         }
         drop(tx); // the receive loop ends once every worker finishes
         let mut err = std::io::stderr().lock();
-        for (i, report) in rx {
+        for (i, result, attempts) in rx {
             debug_assert!(slots[i].is_none(), "task {i} ran twice");
-            slots[i] = Some(report);
-            let _ = write!(err, ".");
+            let _ = write!(err, "{}", if result.is_ok() { "." } else { "x" });
+            slots[i] = Some(result);
+            attempts_by_slot[i] = attempts;
         }
         let _ = writeln!(err);
     });
 
-    let mut out = Vec::with_capacity(benches.len());
-    let mut it = slots.into_iter();
-    for _ in benches {
-        let row: Vec<SimReport> = (0..configs.len())
-            .map(|_| it.next().expect("sized above").expect("every slot filled"))
-            .collect();
-        out.push(row);
+    let mut reports = Vec::with_capacity(benches.len());
+    let mut failures = Vec::new();
+    let mut it = slots.into_iter().zip(attempts_by_slot).enumerate();
+    for bench in benches {
+        let mut row = Vec::with_capacity(configs.len());
+        for _ in 0..configs.len() {
+            let (i, (result, attempts)) = it.next().expect("slots sized to the matrix");
+            match result.expect("every slot filled by the receive loop") {
+                Ok(report) => row.push(Some(report)),
+                Err(error) => {
+                    row.push(None);
+                    failures.push(JobFailure {
+                        bench: bench.name().to_string(),
+                        config: configs[i % configs.len()].0.clone(),
+                        attempts,
+                        error,
+                    });
+                }
+            }
+        }
+        reports.push(row);
     }
-    print_sim_speed(out.iter().flatten());
-    out
+    print_sim_speed(reports.iter().flatten().flatten());
+    let run = MatrixRun { reports, failures };
+    run.print_failure_summary();
+    run
 }
 
 /// Summarizes simulator throughput over a set of finished reports.
@@ -290,7 +496,7 @@ pub fn benches_from_args() -> Vec<Benchmark> {
             let name = args.get(i + 1).map(String::as_str).unwrap_or("");
             match hbdc_workloads::by_name(name) {
                 Some(b) => vec![b],
-                None => panic!("unknown benchmark `{name}`"),
+                None => usage_bail(&format!("unknown benchmark `{name}`")),
             }
         }
         None => hbdc_workloads::all(),
@@ -343,11 +549,11 @@ mod tests {
             ("a".to_string(), PortConfig::Ideal { ports: 1 }),
             ("b".to_string(), PortConfig::banked(4)),
         ];
-        let matrix = simulate_matrix(&benches, Scale::Test, &configs);
+        let matrix = simulate_matrix(&benches, Scale::Test, &configs).expect_complete();
         assert_eq!(matrix.len(), 1);
         assert_eq!(matrix[0].len(), 2);
         for (j, (_, port)) in configs.iter().enumerate() {
-            let serial = simulate(&benches[0], Scale::Test, *port);
+            let serial = simulate(&benches[0], Scale::Test, *port).unwrap();
             assert_eq!(matrix[0][j], serial, "config {j} differs from serial");
         }
     }
@@ -355,8 +561,97 @@ mod tests {
     #[test]
     fn simulate_smoke() {
         let b = by_name("li").unwrap();
-        let r = simulate(&b, Scale::Test, PortConfig::Ideal { ports: 4 });
+        let r = simulate(&b, Scale::Test, PortConfig::Ideal { ports: 4 }).unwrap();
         assert!(r.committed > 10_000);
         assert!(r.ipc() > 0.5);
+    }
+
+    #[test]
+    fn matrix_survives_a_degenerate_config() {
+        // banks=3 fails PortConfig validation; the cell is recorded as a
+        // failure and the other cell still completes.
+        let benches = vec![by_name("li").unwrap()];
+        let configs = vec![
+            ("good".to_string(), PortConfig::Ideal { ports: 2 }),
+            ("bad".to_string(), PortConfig::banked(3)),
+        ];
+        let run = simulate_matrix(&benches, Scale::Test, &configs);
+        assert!(!run.is_complete());
+        assert!(run.reports[0][0].is_some(), "good cell must complete");
+        assert!(run.reports[0][1].is_none(), "bad cell must be None");
+        assert_eq!(run.failures.len(), 1);
+        let f = &run.failures[0];
+        assert_eq!(f.bench, "li");
+        assert_eq!(f.config, "bad");
+        assert_eq!(f.attempts, 2, "failed jobs are retried once");
+        assert!(f.error.contains("power of two"), "{}", f.error);
+    }
+
+    #[test]
+    fn matrix_survives_a_panicking_job() {
+        fn bomb(_: Scale) -> String {
+            panic!("kernel generator exploded");
+        }
+        let benches = vec![
+            Benchmark::custom("bomb", Suite::Int, bomb),
+            by_name("li").unwrap(),
+        ];
+        let configs = vec![("i2".to_string(), PortConfig::Ideal { ports: 2 })];
+        let run = simulate_matrix(&benches, Scale::Test, &configs);
+        assert!(run.reports[0][0].is_none());
+        assert!(run.reports[1][0].is_some(), "healthy bench still runs");
+        assert_eq!(run.failures.len(), 1);
+        assert!(
+            run.failures[0].error.contains("kernel generator exploded"),
+            "{}",
+            run.failures[0].error
+        );
+    }
+
+    #[test]
+    fn matrix_records_cycle_limit_failures() {
+        let benches = vec![by_name("li").unwrap()];
+        let configs = vec![("i2".to_string(), PortConfig::Ideal { ports: 2 })];
+        let run = simulate_matrix_with(
+            &benches,
+            Scale::Test,
+            &configs,
+            CpuConfig {
+                max_cycles: 50,
+                ..CpuConfig::default()
+            },
+        );
+        assert!(!run.is_complete());
+        assert!(
+            run.failures[0].error.contains("cycle limit"),
+            "{}",
+            run.failures[0].error
+        );
+    }
+
+    #[test]
+    fn matrix_exit_codes() {
+        let clean = MatrixRun {
+            reports: vec![],
+            failures: vec![],
+        };
+        // ExitCode lacks PartialEq; compare the Debug renderings.
+        assert_eq!(
+            format!("{:?}", clean.exit_code()),
+            format!("{:?}", std::process::ExitCode::SUCCESS)
+        );
+        let dirty = MatrixRun {
+            reports: vec![vec![None]],
+            failures: vec![JobFailure {
+                bench: "x".into(),
+                config: "y".into(),
+                attempts: 2,
+                error: "boom".into(),
+            }],
+        };
+        assert_eq!(
+            format!("{:?}", dirty.exit_code()),
+            format!("{:?}", std::process::ExitCode::from(1))
+        );
     }
 }

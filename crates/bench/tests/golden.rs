@@ -6,9 +6,9 @@
 //! Any divergence means a scratch-buffer or ready-list change altered
 //! simulated behavior, which is never acceptable for a pure perf change.
 
-use hbdc_bench::runner::{simulate, simulate_matrix};
+use hbdc_bench::runner::{simulate, simulate_matrix, simulate_with};
 use hbdc_core::PortConfig;
-use hbdc_cpu::SimReport;
+use hbdc_cpu::{CpuConfig, SimReport};
 use hbdc_workloads::{by_name, Scale};
 
 fn golden(port_label: &str) -> SimReport {
@@ -73,7 +73,7 @@ const CONFIGS: [PortConfig; 3] = [
 fn li_reports_match_reference_implementation() {
     let li = by_name("li").unwrap();
     for port in CONFIGS {
-        let r = simulate(&li, Scale::Test, port);
+        let r = simulate(&li, Scale::Test, port).unwrap();
         assert_eq!(r, golden(&r.port_label), "{} diverged", r.port_label);
     }
 }
@@ -82,8 +82,30 @@ fn li_reports_match_reference_implementation() {
 fn matrix_reports_match_reference_implementation() {
     let li = by_name("li").unwrap();
     let configs: Vec<(String, PortConfig)> = CONFIGS.iter().map(|&p| (String::new(), p)).collect();
-    let matrix = simulate_matrix(&[li], Scale::Test, &configs);
+    let matrix = simulate_matrix(&[li], Scale::Test, &configs).expect_complete();
     for r in &matrix[0] {
         assert_eq!(*r, golden(&r.port_label), "{} diverged", r.port_label);
+    }
+}
+
+/// The invariant auditor is a pure observer: running with `audit` on must
+/// produce reports bit-identical to the golden references (and therefore
+/// to audit-off runs). A divergence means the auditor perturbed
+/// simulated behavior, which is never acceptable.
+#[test]
+fn audited_runs_match_reference_implementation() {
+    let li = by_name("li").unwrap();
+    for port in CONFIGS {
+        let audited = CpuConfig {
+            audit: true,
+            ..CpuConfig::default()
+        };
+        let r = simulate_with(&li, Scale::Test, port, audited).unwrap();
+        assert_eq!(
+            r,
+            golden(&r.port_label),
+            "{} diverged under audit",
+            r.port_label
+        );
     }
 }

@@ -2,6 +2,7 @@
 
 use hbdc_mem::BankMapper;
 
+use crate::audit::{self, Violation};
 use crate::model::PortModel;
 use crate::request::MemRequest;
 use crate::stats::ArbStats;
@@ -97,6 +98,42 @@ impl PortModel for BankedPorts {
 
     fn stats(&self) -> &ArbStats {
         &self.stats
+    }
+
+    /// Banked legality: at most one grant per bank per cycle, and the
+    /// grant must be the *oldest* ready reference mapping to that bank
+    /// (nothing but an earlier same-bank reference can deny a request).
+    fn audit_round(&self, ready: &[MemRequest], granted: &[usize], out: &mut Vec<Violation>) {
+        audit::check_generic(self.peak_per_cycle(), ready, granted, out);
+        let banks = self.mapper.banks() as usize;
+        let mut oldest_ready: Vec<Option<usize>> = vec![None; banks];
+        for (i, r) in ready.iter().enumerate() {
+            let b = self.mapper.bank_of(r.addr) as usize;
+            oldest_ready[b].get_or_insert(i);
+        }
+        let mut granted_in: Vec<Option<usize>> = vec![None; banks];
+        for &g in granted {
+            let Some(r) = ready.get(g) else { continue };
+            let b = self.mapper.bank_of(r.addr) as usize;
+            match granted_in[b] {
+                Some(prev) => out.push(Violation::new(
+                    "banked-double-grant",
+                    format!("bank {b} granted twice in one cycle (indices {prev} and {g})"),
+                )),
+                None => {
+                    granted_in[b] = Some(g);
+                    if oldest_ready[b] != Some(g) {
+                        out.push(Violation::new(
+                            "banked-age-priority",
+                            format!(
+                                "bank {b}: granted index {g} but oldest ready is {:?}",
+                                oldest_ready[b]
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
     }
 }
 

@@ -4,6 +4,7 @@ use std::collections::VecDeque;
 
 use hbdc_mem::BankMapper;
 
+use crate::audit::{self, Violation};
 use crate::model::PortModel;
 use crate::request::MemRequest;
 use crate::stats::ArbStats;
@@ -365,6 +366,68 @@ impl PortModel for Lbic {
 
     fn stats(&self) -> &ArbStats {
         &self.stats
+    }
+
+    /// LBIC legality (paper §5): within one cycle, every grant in a bank
+    /// must hit the line locked by that bank's leading grant, at most
+    /// `N = line_ports` grants may share a bank's line buffer, and no
+    /// per-bank store queue may exceed its capacity.
+    fn audit_round(&self, ready: &[MemRequest], granted: &[usize], out: &mut Vec<Violation>) {
+        audit::check_generic(self.peak_per_cycle(), ready, granted, out);
+        let n_banks = self.banks.len();
+        let mut leader_line: Vec<Option<u64>> = vec![None; n_banks];
+        let mut count: Vec<usize> = vec![0; n_banks];
+        for &g in granted {
+            let Some(r) = ready.get(g) else { continue };
+            let b = self.mapper.bank_of(r.addr) as usize;
+            let line = self.line_of(r.addr);
+            match leader_line[b] {
+                None => {
+                    leader_line[b] = Some(line);
+                    count[b] = 1;
+                }
+                Some(l) if l == line => {
+                    count[b] += 1;
+                    if count[b] > self.line_ports {
+                        out.push(Violation::new(
+                            "lbic-combining-overflow",
+                            format!(
+                                "bank {b}: {} grants to line {line:#x} exceed the \
+                                 {}-ported line buffer",
+                                count[b], self.line_ports
+                            ),
+                        ));
+                    }
+                }
+                Some(l) => out.push(Violation::new(
+                    "lbic-cross-line",
+                    format!(
+                        "bank {b}: grant index {g} hits line {line:#x} but the \
+                         leader locked line {l:#x}"
+                    ),
+                )),
+            }
+        }
+        for (b, bank) in self.banks.iter().enumerate() {
+            if bank.store_queue.len() > self.sq_capacity {
+                out.push(Violation::new(
+                    "lbic-store-queue-overflow",
+                    format!(
+                        "bank {b}: store queue holds {} entries, capacity {}",
+                        bank.store_queue.len(),
+                        self.sq_capacity
+                    ),
+                ));
+            }
+        }
+    }
+
+    fn debug_state(&self) -> String {
+        let occ: Vec<usize> = self.banks.iter().map(|b| b.store_queue.len()).collect();
+        format!(
+            "store-queue occupancy per bank: {occ:?} (capacity {})",
+            self.sq_capacity
+        )
     }
 }
 

@@ -22,7 +22,9 @@
 //! All models implement the [`PortModel`] trait and are built from a
 //! serializable [`PortConfig`]. The [`cost`] module provides the
 //! first-order die-area model behind the paper's cost-effectiveness
-//! argument.
+//! argument. The [`audit`] module re-checks each arbitration round
+//! against the models' structural legality rules, and [`FaultInjector`]
+//! deliberately corrupts grants to prove those checks fire.
 //!
 //! # Examples
 //!
@@ -51,17 +53,21 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod audit;
 mod banked;
 pub mod cost;
 mod ideal;
+mod inject;
 mod lbic;
 mod model;
 mod replicated;
 mod request;
 mod stats;
 
+pub use audit::Violation;
 pub use banked::BankedPorts;
 pub use ideal::IdealPorts;
+pub use inject::{FaultClass, FaultInjector};
 pub use lbic::{CombinePolicy, Lbic};
 pub use model::{PortConfig, PortModel};
 pub use replicated::ReplicatedPorts;

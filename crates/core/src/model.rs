@@ -2,6 +2,7 @@
 
 use hbdc_mem::{BankMapper, BankSelect};
 
+use crate::audit::{self, Violation};
 use crate::banked::BankedPorts;
 use crate::ideal::IdealPorts;
 use crate::lbic::{CombinePolicy, Lbic};
@@ -51,6 +52,28 @@ pub trait PortModel {
 
     /// Accumulated arbitration statistics.
     fn stats(&self) -> &ArbStats;
+
+    /// Re-checks one arbitration round against this model's structural
+    /// legality rules, appending any [`Violation`]s to `out`.
+    ///
+    /// `ready` and `granted` are the exact arguments/results of the
+    /// matching [`arbitrate_into`](Self::arbitrate_into) call. The check
+    /// is a pure observer — it recomputes legality independently of the
+    /// arbitration path and never perturbs model state — so an audited
+    /// simulation is bit-identical to an unaudited one. The default
+    /// implementation applies only the generic invariants (indices
+    /// strictly increasing, in range, at most
+    /// [`peak_per_cycle`](Self::peak_per_cycle) grants); models override
+    /// it to add their own rules.
+    fn audit_round(&self, ready: &[MemRequest], granted: &[usize], out: &mut Vec<Violation>) {
+        audit::check_generic(self.peak_per_cycle(), ready, granted, out);
+    }
+
+    /// One-line snapshot of model-internal state (store-queue occupancy
+    /// and the like) for watchdog diagnostic dumps. Empty by default.
+    fn debug_state(&self) -> String {
+        String::new()
+    }
 }
 
 /// Serializable description of a port model, the unit of configuration for
@@ -98,12 +121,63 @@ pub enum PortConfig {
 }
 
 impl PortConfig {
+    /// Checks the configuration for degenerate values (zero ports/banks,
+    /// bank counts that are not powers of two, zero-entry line buffers or
+    /// store queues).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        match *self {
+            PortConfig::Ideal { ports } | PortConfig::Replicated { ports } => {
+                if ports == 0 {
+                    return Err(format!("{self:?}: port count must be at least 1"));
+                }
+            }
+            PortConfig::Banked { banks, .. } => {
+                if banks == 0 || !banks.is_power_of_two() {
+                    return Err(format!("{self:?}: banks must be a power of two >= 1"));
+                }
+            }
+            PortConfig::Lbic {
+                banks,
+                line_ports,
+                store_queue,
+                ..
+            } => {
+                if banks == 0 || !banks.is_power_of_two() {
+                    return Err(format!("{self:?}: banks must be a power of two >= 1"));
+                }
+                if line_ports == 0 {
+                    return Err(format!("{self:?}: line buffer needs at least one port"));
+                }
+                if store_queue == 0 {
+                    return Err(format!("{self:?}: store queue needs at least one entry"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Builds the model after [`validate`](Self::validate)-ing, so a bad
+    /// configuration surfaces as an error instead of a panic.
+    ///
+    /// # Errors
+    ///
+    /// Returns the validation failure for degenerate configurations.
+    pub fn try_build(&self, line_size: u64) -> Result<Box<dyn PortModel>, String> {
+        self.validate()?;
+        Ok(self.build(line_size))
+    }
+
     /// Builds the model for a cache with the given line size in bytes.
     ///
     /// # Panics
     ///
     /// Panics on degenerate configurations (zero ports/banks, bank counts
-    /// that are not powers of two, zero-entry line buffers).
+    /// that are not powers of two, zero-entry line buffers). Use
+    /// [`try_build`](Self::try_build) to get an error instead.
     pub fn build(&self, line_size: u64) -> Box<dyn PortModel> {
         match *self {
             PortConfig::Ideal { ports } => Box::new(IdealPorts::new(ports)),

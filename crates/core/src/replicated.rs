@@ -1,5 +1,6 @@
 //! Multi-porting by replication.
 
+use crate::audit::{self, Violation};
 use crate::model::PortModel;
 use crate::request::MemRequest;
 use crate::stats::ArbStats;
@@ -87,6 +88,26 @@ impl PortModel for ReplicatedPorts {
 
     fn stats(&self) -> &ArbStats {
         &self.stats
+    }
+
+    /// Replication legality: a store broadcasts to every cache copy, so a
+    /// granted store must be the *only* grant of its cycle.
+    fn audit_round(&self, ready: &[MemRequest], granted: &[usize], out: &mut Vec<Violation>) {
+        audit::check_generic(self.peak_per_cycle(), ready, granted, out);
+        if granted.len() > 1 {
+            for &g in granted {
+                if ready.get(g).is_some_and(|r| r.is_store) {
+                    out.push(Violation::new(
+                        "repl-store-overlap",
+                        format!(
+                            "store at index {g} granted alongside {} other grants \
+                             (broadcast stores are exclusive)",
+                            granted.len() - 1
+                        ),
+                    ));
+                }
+            }
+        }
     }
 }
 

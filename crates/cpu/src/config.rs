@@ -57,6 +57,24 @@ pub struct CpuConfig {
     /// Front-end model: perfect branch prediction (the paper's Table 1)
     /// or a real predictor with misprediction stalls.
     pub front_end: FrontEnd,
+    /// Forward-progress watchdog: cycles without a commit after which the
+    /// run fails with [`SimError::Deadlock`](crate::SimError::Deadlock).
+    /// The longest legitimate stall is a full MSHR file of DRAM misses —
+    /// thousands of cycles at most — so the default of 100 000 only trips
+    /// on model bugs.
+    pub watchdog_cycles: u64,
+    /// Hard cap on simulated cycles: exceeding it fails the run with
+    /// [`SimError::CycleLimit`](crate::SimError::CycleLimit) (`u64::MAX`
+    /// = unlimited). Catches livelocks that keep committing — a runaway
+    /// trace, a misconfigured `max_insts` — where the watchdog cannot.
+    pub max_cycles: u64,
+    /// Run the per-cycle invariant auditor (LSQ ordering, port-model
+    /// grant legality). A pure observer: audited runs are bit-identical
+    /// to unaudited ones, at some simulation-speed cost. Defaults to off,
+    /// or on when the crate is built with the `audit` feature (which is
+    /// how `cargo test --features audit` sweeps the whole suite under
+    /// auditing).
+    pub audit: bool,
 }
 
 impl Default for CpuConfig {
@@ -77,6 +95,9 @@ impl Default for CpuConfig {
             warmup_insts: 0,
             max_insts: u64::MAX,
             front_end: FrontEnd::Perfect,
+            watchdog_cycles: 100_000,
+            max_cycles: u64::MAX,
+            audit: cfg!(feature = "audit"),
         }
     }
 }
@@ -90,6 +111,35 @@ impl CpuConfig {
             max_insts,
             ..Self::default()
         }
+    }
+
+    /// Checks the configuration for degenerate values that would wedge or
+    /// crash the pipeline (zero widths, empty window or queue, a zero
+    /// watchdog budget).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.fetch_width == 0 || self.issue_width == 0 || self.commit_width == 0 {
+            return Err("fetch/issue/commit widths must all be at least 1".into());
+        }
+        if self.ruu_size == 0 {
+            return Err("RUU needs at least one entry".into());
+        }
+        if self.lsq_size == 0 {
+            return Err("LSQ needs at least one entry".into());
+        }
+        if self.ls_units == 0 {
+            return Err("need at least one load/store unit".into());
+        }
+        if self.watchdog_cycles == 0 {
+            return Err("watchdog budget must be at least one cycle".into());
+        }
+        if self.max_cycles == 0 {
+            return Err("cycle cap must be at least one cycle".into());
+        }
+        Ok(())
     }
 }
 
@@ -114,5 +164,35 @@ mod tests {
         let c = CpuConfig::with_max_insts(1000);
         assert_eq!(c.max_insts, 1000);
         assert_eq!(c.ruu_size, 1024);
+    }
+
+    #[test]
+    fn default_validates() {
+        assert!(CpuConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn degenerate_configs_are_rejected() {
+        let bad = [
+            CpuConfig {
+                issue_width: 0,
+                ..CpuConfig::default()
+            },
+            CpuConfig {
+                ruu_size: 0,
+                ..CpuConfig::default()
+            },
+            CpuConfig {
+                lsq_size: 0,
+                ..CpuConfig::default()
+            },
+            CpuConfig {
+                watchdog_cycles: 0,
+                ..CpuConfig::default()
+            },
+        ];
+        for cfg in bad {
+            assert!(cfg.validate().is_err(), "{cfg:?} should be rejected");
+        }
     }
 }

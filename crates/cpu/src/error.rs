@@ -1,0 +1,139 @@
+//! Typed simulation failures.
+//!
+//! Everything that can go wrong on the simulate path — malformed
+//! instructions, pipeline deadlock, cycle-budget exhaustion, invariant
+//! violations, degenerate configurations — surfaces as a [`SimError`]
+//! carrying the cycle, program counter, and unit context needed to
+//! diagnose it, instead of a panic that takes down a whole experiment
+//! matrix.
+
+use hbdc_core::Violation;
+
+/// A simulation failure, with enough context to pinpoint the cycle and
+/// unit at fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The dynamic instruction stream handed the pipeline an instruction
+    /// it cannot dispatch (e.g. a memory instruction without a width).
+    Malformed {
+        /// Cycle at which the instruction was fetched.
+        cycle: u64,
+        /// RUU sequence number of the offending instruction.
+        seq: u64,
+        /// Program counter of the offending instruction.
+        pc: u64,
+        /// What was wrong with it.
+        detail: String,
+    },
+    /// The forward-progress watchdog fired: no instruction committed for
+    /// the configured number of consecutive cycles. Always a model bug,
+    /// never a property of the workload.
+    Deadlock {
+        /// Cycle at which the watchdog fired.
+        cycle: u64,
+        /// Instructions committed before the pipeline wedged.
+        committed: u64,
+        /// Cycles since the last commit when the watchdog fired.
+        stalled_for: u64,
+        /// Diagnostic dump: window census, LSQ state, port-model state.
+        dump: String,
+    },
+    /// The run exceeded the configured hard cap on simulated cycles
+    /// without finishing.
+    CycleLimit {
+        /// The configured cap that was hit.
+        max_cycles: u64,
+        /// Instructions committed within the budget.
+        committed: u64,
+    },
+    /// The per-cycle invariant auditor found the arbitration or LSQ state
+    /// structurally illegal.
+    Invariant {
+        /// Cycle whose arbitration round was illegal.
+        cycle: u64,
+        /// Every rule violated this cycle.
+        violations: Vec<Violation>,
+    },
+    /// The simulator was constructed from a degenerate configuration.
+    Config {
+        /// What was wrong with the configuration.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Malformed {
+                cycle,
+                seq,
+                pc,
+                detail,
+            } => write!(
+                f,
+                "malformed instruction at pc {pc:#x} (seq {seq}, cycle {cycle}): {detail}"
+            ),
+            SimError::Deadlock {
+                cycle,
+                committed,
+                stalled_for,
+                dump,
+            } => write!(
+                f,
+                "pipeline deadlock at cycle {cycle}: no commit for {stalled_for} cycles \
+                 ({committed} committed)\n{dump}"
+            ),
+            SimError::CycleLimit {
+                max_cycles,
+                committed,
+            } => write!(
+                f,
+                "cycle limit exceeded: {max_cycles} cycles simulated without finishing \
+                 ({committed} committed)"
+            ),
+            SimError::Invariant { cycle, violations } => {
+                write!(f, "invariant violation at cycle {cycle}:")?;
+                for v in violations {
+                    write!(f, "\n  {v}")?;
+                }
+                Ok(())
+            }
+            SimError::Config { detail } => write!(f, "invalid configuration: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_context() {
+        let e = SimError::Malformed {
+            cycle: 7,
+            seq: 3,
+            pc: 0x40,
+            detail: "memory instruction without a width".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("0x40") && s.contains("cycle 7"), "{s}");
+
+        let e = SimError::Invariant {
+            cycle: 12,
+            violations: vec![Violation::new("banked-double-grant", "bank 0 twice")],
+        };
+        let s = e.to_string();
+        assert!(
+            s.contains("cycle 12") && s.contains("banked-double-grant"),
+            "{s}"
+        );
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: std::error::Error>() {}
+        assert_err::<SimError>();
+    }
+}

@@ -18,6 +18,12 @@
 //!   to a [`PortModel`](hbdc_core::PortModel) and a
 //!   [`Hierarchy`](hbdc_mem::Hierarchy), reporting IPC.
 //!
+//! Simulation failures — pipeline deadlock (caught by a forward-progress
+//! watchdog), cycle-budget exhaustion, invariant violations found by the
+//! per-cycle auditor ([`CpuConfig::audit`]), malformed instructions —
+//! surface as typed [`SimError`]s with cycle/PC/unit context rather than
+//! panics.
+//!
 //! # Examples
 //!
 //! ```
@@ -37,10 +43,10 @@
 //!     HierarchyConfig::default(),
 //!     PortConfig::lbic(4, 2),
 //! );
-//! let report = sim.run();
+//! let report = sim.run()?;
 //! assert!(report.committed > 0);
 //! assert!(report.ipc() > 1.0);
-//! # Ok::<(), hbdc_isa::AsmError>(())
+//! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
 #![forbid(unsafe_code)]
@@ -49,6 +55,7 @@
 mod bpred;
 mod config;
 mod dynamic;
+mod error;
 mod fu;
 mod functional;
 mod lsq;
@@ -59,6 +66,7 @@ mod window;
 pub use bpred::{AlwaysTaken, Bimodal, BranchPredictor, FrontEnd, Gshare, PredictorKind};
 pub use config::CpuConfig;
 pub use dynamic::DynInst;
+pub use error::SimError;
 pub use fu::FuPools;
 pub use functional::Emulator;
 pub use lsq::{Lsq, LsqStalls};

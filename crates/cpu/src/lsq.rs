@@ -328,6 +328,114 @@ impl Lsq {
         self.collect_ready_into(oldest_not_done, &mut out);
         out
     }
+
+    /// Re-checks one ready-list round against the queue's ordering and
+    /// forwarding rules, appending any violations to `out`.
+    ///
+    /// `ready` must be the result of the matching
+    /// [`collect_ready_into`](Self::collect_ready_into) call with the same
+    /// `oldest_not_done` frontier. A pure observer: it recomputes legality
+    /// independently of the classification scan. Checks:
+    ///
+    /// * queue entries are in strict age order (`lsq-age-order`);
+    /// * the cache-ready list is in strict age order (`lsq-ready-order`);
+    /// * every ready store has all operands, was not already issued, and
+    ///   sits behind the completion frontier (`lsq-store-early`);
+    /// * every forward names a load whose decider store is present with
+    ///   its data produced and an exact address fit (`lsq-forward-illegal`).
+    pub fn audit_round(
+        &self,
+        oldest_not_done: u64,
+        ready: &ReadyRefs,
+        out: &mut Vec<hbdc_core::Violation>,
+    ) {
+        use hbdc_core::Violation;
+        for w in self
+            .entries
+            .iter()
+            .zip(self.entries.iter().skip(1))
+            .filter(|(a, b)| a.seq >= b.seq)
+        {
+            out.push(Violation::new(
+                "lsq-age-order",
+                format!(
+                    "queue entries out of age order: {} then {}",
+                    w.0.seq, w.1.seq
+                ),
+            ));
+        }
+        for w in ready.cache.windows(2).filter(|w| w[0].seq >= w[1].seq) {
+            out.push(Violation::new(
+                "lsq-ready-order",
+                format!(
+                    "ready list out of age order: {} then {}",
+                    w[0].seq, w[1].seq
+                ),
+            ));
+        }
+        for c in ready.cache.iter().filter(|c| c.is_store) {
+            let legal = c.seq < oldest_not_done
+                && self
+                    .entry(c.seq)
+                    .is_some_and(|e| e.addr_known && e.data_known && !e.issued);
+            if !legal {
+                out.push(Violation::new(
+                    "lsq-store-early",
+                    format!(
+                        "store {} offered to the cache before commit eligibility \
+                         (frontier {oldest_not_done})",
+                        c.seq
+                    ),
+                ));
+            }
+        }
+        for &seq in &ready.forwards {
+            let legal = self.entry(seq).is_some_and(|load| {
+                !load.is_store
+                    && load.exact_fit
+                    && self
+                        .entry(load.dep_store)
+                        .is_some_and(|s| s.is_store && s.seq < seq && s.data_known)
+            });
+            if !legal {
+                out.push(Violation::new(
+                    "lsq-forward-illegal",
+                    format!("load {seq} forwarded without a covering older store"),
+                ));
+            }
+        }
+    }
+
+    /// Looks up `seq` without panicking (diagnostics and auditing).
+    fn entry(&self, seq: u64) -> Option<&LsqEntry> {
+        let ordinal = self
+            .pos_map
+            .get(seq.wrapping_sub(self.pos_base) as usize)
+            .copied()
+            .filter(|&o| o != NOT_MEM)?;
+        self.entries.get((ordinal - self.retired) as usize)
+    }
+
+    /// One-line occupancy snapshot for watchdog diagnostic dumps.
+    pub fn dump(&self) -> String {
+        let (mut addr_pending, mut data_pending, mut issued) = (0usize, 0usize, 0usize);
+        for e in &self.entries {
+            addr_pending += usize::from(!e.addr_known);
+            data_pending += usize::from(!e.data_known);
+            issued += usize::from(e.issued);
+        }
+        format!(
+            "LSQ {}/{} (head seq {:?}, tail seq {:?}; {} awaiting address, \
+             {} awaiting data, {} issued)",
+            self.entries.len(),
+            self.capacity,
+            self.entries.front().map(|e| e.seq),
+            self.entries.back().map(|e| e.seq),
+            addr_pending,
+            data_pending,
+            issued,
+        )
+    }
 }
 
 #[cfg(test)]
@@ -499,5 +607,64 @@ mod tests {
         let r = lsq.collect_ready(u64::MAX);
         let seqs: Vec<u64> = r.cache.iter().map(|c| c.seq).collect();
         assert_eq!(seqs, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn audit_passes_clean_rounds() {
+        let mut lsq = Lsq::new(8);
+        lsq.dispatch(0, 0x100, 4, true);
+        lsq.dispatch(1, 0x100, 4, false); // forwards from 0
+        lsq.dispatch(2, 0x200, 4, false);
+        for s in 0..3 {
+            lsq.mark_addr_known(s);
+        }
+        lsq.mark_data_known(0);
+        let r = lsq.collect_ready(5);
+        let mut out = Vec::new();
+        lsq.audit_round(5, &r, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn audit_flags_corrupted_ready_lists() {
+        let mut lsq = Lsq::new(8);
+        lsq.dispatch(0, 0x100, 4, true);
+        lsq.dispatch(1, 0x200, 4, false);
+        lsq.mark_addr_known(0);
+        lsq.mark_addr_known(1);
+        // Fabricate an illegal round: the store offered ahead of the
+        // frontier, the disjoint load reported as a forward, out of order.
+        let bad = ReadyRefs {
+            cache: vec![
+                CacheReady {
+                    seq: 1,
+                    addr: 0x200,
+                    is_store: false,
+                },
+                CacheReady {
+                    seq: 0,
+                    addr: 0x100,
+                    is_store: true,
+                },
+            ],
+            forwards: vec![1],
+        };
+        let mut out = Vec::new();
+        lsq.audit_round(0, &bad, &mut out);
+        let rules: Vec<&str> = out.iter().map(|v| v.rule).collect();
+        assert!(rules.contains(&"lsq-ready-order"), "{rules:?}");
+        assert!(rules.contains(&"lsq-store-early"), "{rules:?}");
+        assert!(rules.contains(&"lsq-forward-illegal"), "{rules:?}");
+    }
+
+    #[test]
+    fn dump_reports_occupancy() {
+        let mut lsq = Lsq::new(8);
+        lsq.dispatch(3, 0x100, 4, true);
+        lsq.dispatch(4, 0x200, 4, false);
+        lsq.mark_addr_known(4);
+        let d = lsq.dump();
+        assert!(d.contains("2/8"), "{d}");
+        assert!(d.contains("1 awaiting address"), "{d}");
     }
 }

@@ -56,6 +56,7 @@ fn run(program: &Program, port: PortConfig) -> hbdc_cpu::SimReport {
         port,
     )
     .run()
+    .expect("property-generated program must simulate cleanly")
 }
 
 proptest! {

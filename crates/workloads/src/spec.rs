@@ -72,6 +72,24 @@ impl std::fmt::Debug for Benchmark {
 }
 
 impl Benchmark {
+    /// Registers a caller-supplied kernel as a benchmark, for driving the
+    /// experiment machinery with workloads outside the SPEC95 analog set
+    /// (custom kernels, fault-tolerance tests). `paper` reference
+    /// characteristics are zeroed.
+    pub fn custom(name: &'static str, suite: Suite, source: fn(Scale) -> String) -> Self {
+        Self {
+            name,
+            suite,
+            paper: PaperRow {
+                instr_millions: 0.0,
+                mem_pct: 0.0,
+                store_to_load: 0.0,
+                miss_rate: 0.0,
+            },
+            source,
+        }
+    }
+
     /// The benchmark's (paper) name, e.g. `"compress"`.
     pub fn name(&self) -> &'static str {
         self.name

@@ -69,7 +69,8 @@ fn main() {
             HierarchyConfig::default(),
             port,
         )
-        .run();
+        .run()
+        .expect("example kernel simulates cleanly");
         println!(
             "  {:9} {:6.2}  {:9}  {:8}",
             report.port_label,

@@ -51,7 +51,8 @@ fn main() -> Result<(), hbdc::isa::AsmError> {
             HierarchyConfig::default(),
             port,
         )
-        .run();
+        .run()
+        .expect("example kernel simulates cleanly");
         println!(
             "{:9} {:5.2}  {:7}  {:9}  {:8}",
             report.port_label,

@@ -49,7 +49,8 @@ fn main() -> Result<(), hbdc::isa::AsmError> {
                 HierarchyConfig::default(),
                 port,
             )
-            .run();
+            .run()
+            .expect("example kernel simulates cleanly");
             row.push_str(&format!("  {:6.2}", report.ipc()));
         }
         println!("{row}");

@@ -9,7 +9,13 @@ cargo fmt --all --check
 echo "== cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== cargo clippy (no unwrap on the simulate path)"
+cargo clippy -p hbdc-core -p hbdc-cpu --lib -- -D warnings -D clippy::unwrap_used
+
 echo "== cargo test"
 cargo test --workspace -q
+
+echo "== cargo test --features audit (invariant auditor on)"
+cargo test -p hbdc-cpu -p hbdc-bench --features audit -q
 
 echo "All checks passed."

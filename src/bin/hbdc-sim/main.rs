@@ -4,6 +4,7 @@
 //! hbdc-sim run <prog.s|prog.hbo|bench:NAME> [--port SPEC] [--max-insts N]
 //!              [--ruu N] [--lsq N] [--ls-units N] [--scale test|small|full]
 //!              [--frontend perfect|gshare|bimodal]
+//!              [--audit] [--max-cycles N] [--inject SEED]
 //! hbdc-sim asm <prog.s> -o <prog.hbo>        assemble to a binary object
 //! hbdc-sim disasm <prog.s|prog.hbo>          print assembler-compatible text
 //! hbdc-sim analyze <prog.s|bench:NAME>       stream locality + reuse report
@@ -26,7 +27,8 @@ use program_source::load_program;
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  hbdc-sim run <prog.s|prog.hbo|bench:NAME> [--port SPEC] [--max-insts N]\n\
-         \x20          [--ruu N] [--lsq N] [--ls-units N] [--scale test|small|full]\n  \
+         \x20          [--ruu N] [--lsq N] [--ls-units N] [--scale test|small|full]\n\
+         \x20          [--audit] [--max-cycles N] [--inject SEED]\n  \
          hbdc-sim asm <prog.s> -o <prog.hbo>\n  \
          hbdc-sim disasm <prog.s|prog.hbo>\n  \
          hbdc-sim analyze <prog.s|bench:NAME> [--banks N] [--scale ...]\n  \
@@ -70,16 +72,36 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         },
         Some(other) => return Err(format!("unknown front end `{other}`")),
     };
+    let inject_seed = match flag_value(args, "--inject") {
+        None => None,
+        Some(v) => Some(
+            v.parse::<u64>()
+                .map_err(|_| format!("--inject expects a seed, got `{v}`"))?,
+        ),
+    };
     let cfg = CpuConfig {
         ruu_size: parse_num(args, "--ruu", 1024)? as usize,
         lsq_size: parse_num(args, "--lsq", 512)? as usize,
         ls_units: parse_num(args, "--ls-units", 64)? as u32,
         max_insts: parse_num(args, "--max-insts", u64::MAX)?,
+        max_cycles: parse_num(args, "--max-cycles", u64::MAX)?,
+        // --inject without --audit would corrupt arbitration silently, so
+        // injection forces the auditor on.
+        audit: args.iter().any(|a| a == "--audit")
+            || inject_seed.is_some()
+            || CpuConfig::default().audit,
         front_end,
         ..CpuConfig::default()
     };
-    let mut sim = Simulator::new(&program, cfg, HierarchyConfig::default(), port);
-    let report = sim.run();
+    let hier_cfg = HierarchyConfig::default();
+    let mut sim = match inject_seed {
+        Some(seed) => {
+            let injector = FaultInjector::auto(port, hier_cfg.l1_line, seed)?;
+            Simulator::with_port_model(&program, cfg, hier_cfg, Box::new(injector))
+        }
+        None => Simulator::try_new(&program, cfg, hier_cfg, port).map_err(|e| e.to_string())?,
+    };
+    let report = sim.run().map_err(|e| e.to_string())?;
     let (branches, mispredicts) = sim.branch_stats();
 
     println!("program        {target}");

@@ -29,9 +29,9 @@
 //!     HierarchyConfig::default(),
 //!     PortConfig::lbic(4, 2),
 //! )
-//! .run();
+//! .run()?;
 //! assert!(report.ipc() > 1.0);
-//! # Ok::<(), hbdc::isa::AsmError>(())
+//! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 //!
 //! ## Crate map
@@ -69,8 +69,10 @@ pub use hbdc_workloads as workloads;
 /// assert!(!program.text().is_empty());
 /// ```
 pub mod prelude {
-    pub use hbdc_core::{CombinePolicy, MemRequest, PortConfig, PortModel};
-    pub use hbdc_cpu::{CpuConfig, Emulator, SimReport, Simulator};
+    pub use hbdc_core::{
+        CombinePolicy, FaultClass, FaultInjector, MemRequest, PortConfig, PortModel, Violation,
+    };
+    pub use hbdc_cpu::{CpuConfig, Emulator, SimError, SimReport, Simulator};
     pub use hbdc_isa::asm::assemble;
     pub use hbdc_isa::Program;
     pub use hbdc_mem::{BankMapper, BankSelect, CacheGeometry, Hierarchy, HierarchyConfig};

@@ -12,6 +12,7 @@ fn run(bench: &Benchmark, port: PortConfig) -> SimReport {
         port,
     )
     .run()
+    .expect("benchmark simulates cleanly")
 }
 
 #[test]

@@ -93,6 +93,7 @@ fn end_to_end_figure4c_traffic_favors_lbic() {
             port,
         )
         .run()
+        .expect("kernel simulates cleanly")
     };
     let lbic = run(PortConfig::lbic(2, 2));
     let repl = run(PortConfig::Replicated { ports: 2 });

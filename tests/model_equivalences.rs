@@ -45,6 +45,7 @@ fn run(program: &Program, port: PortConfig) -> SimReport {
         port,
     )
     .run()
+    .expect("kernel simulates cleanly")
 }
 
 #[test]

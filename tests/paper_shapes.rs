@@ -27,6 +27,7 @@ fn suite_mean(port: PortConfig, suite: Suite) -> f64 {
                 port,
             )
             .run()
+            .expect("benchmark simulates cleanly")
             .ipc()
         })
         .collect();
