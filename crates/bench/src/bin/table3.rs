@@ -2,7 +2,12 @@
 //! (True), multi-porting by replication (Repl), and multi-banking (Bank)
 //! as ports grow 1 → 16, for all ten benchmarks plus suite averages.
 //!
-//! Usage: `table3 [--scale test|small|full] [--bench <name>]`
+//! Usage: `table3 [--scale test|small|full] [--bench <name>] [--threads N]
+//! [--csv] [--journal PATH | --resume PATH] [--timeout-secs N]`
+//!
+//! With `--journal`, every finished cell is logged crash-safely and
+//! Ctrl-C checkpoints in-flight cells; `--resume PATH` continues an
+//! interrupted campaign from its journal and cell checkpoints.
 
 use hbdc_bench::runner::{
     benches_from_args, csv_from_args, scale_from_args, simulate_matrix, table3_columns,

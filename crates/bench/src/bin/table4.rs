@@ -2,7 +2,12 @@
 //! configurations (2x2, 2x4, 4x2, 4x4, 8x2, 8x4) plus suite averages and
 //! the paper's §6 derived scaling claims.
 //!
-//! Usage: `table4 [--scale test|small|full] [--bench <name>]`
+//! Usage: `table4 [--scale test|small|full] [--bench <name>] [--threads N]
+//! [--csv] [--journal PATH | --resume PATH] [--timeout-secs N]`
+//!
+//! With `--journal`, every finished cell is logged crash-safely and
+//! Ctrl-C checkpoints in-flight cells; `--resume PATH` continues an
+//! interrupted campaign from its journal and cell checkpoints.
 
 use hbdc_bench::runner::{
     benches_from_args, csv_from_args, scale_from_args, simulate_matrix, table4_columns,

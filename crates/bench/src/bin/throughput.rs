@@ -2,23 +2,16 @@
 //! simulator CPU time) over the Table 3 matrix and emits
 //! `BENCH_throughput.json`, so the perf trajectory is tracked across PRs.
 //!
-//! Usage: `throughput [--scale test|small|full] [--bench <name>] [--threads N]`
+//! Usage: `throughput [--scale test|small|full] [--bench <name>] [--threads N]
+//! [--journal PATH | --resume PATH] [--timeout-secs N]`
 //! (default scale: `small`, the standing cross-PR measurement point).
 
 use std::time::Instant;
 
 use hbdc_bench::runner::{
-    benches_from_args, scale_from_args_or, sim_speed, simulate_matrix, table3_columns,
+    benches_from_args, scale_from_args_or, scale_label, sim_speed, simulate_matrix, table3_columns,
 };
 use hbdc_workloads::Scale;
-
-fn scale_label(scale: Scale) -> &'static str {
-    match scale {
-        Scale::Test => "test",
-        Scale::Small => "small",
-        Scale::Full => "full",
-    }
-}
 
 fn main() -> std::process::ExitCode {
     let scale = scale_from_args_or(Scale::Small);

@@ -1,9 +1,14 @@
-//! Shared experiment machinery: simulation driving, scale parsing, and
-//! suite-average bookkeeping.
+//! Shared experiment machinery: simulation driving, scale parsing,
+//! suite-average bookkeeping, and the crash-safe journaled matrix runner
+//! (per-cell run journal, SIGINT checkpointing, per-job timeouts).
+
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
 
 use hbdc_core::PortConfig;
-use hbdc_cpu::{CpuConfig, SimError, SimReport, Simulator};
+use hbdc_cpu::{CpuConfig, SimError, SimReport, SimSnapshot, Simulator};
 use hbdc_mem::HierarchyConfig;
+use hbdc_snap::{fnv1a64, interrupt, write_atomic, StateWriter};
 use hbdc_stats::summary::arithmetic_mean;
 use hbdc_workloads::{Benchmark, Scale, Suite};
 
@@ -63,6 +68,15 @@ pub fn parse_scale(s: &str) -> Result<Scale, String> {
     }
 }
 
+/// The canonical CLI name of a [`Scale`] — the inverse of [`parse_scale`].
+pub fn scale_label(scale: Scale) -> &'static str {
+    match scale {
+        Scale::Test => "test",
+        Scale::Small => "small",
+        Scale::Full => "full",
+    }
+}
+
 /// Reports a command-line usage problem and exits with status 2 (the
 /// conventional usage-error code), without the panic machinery's
 /// backtrace noise.
@@ -85,7 +99,7 @@ pub fn scale_from_args_or(default: Scale) -> Scale {
     match args.iter().position(|a| a == "--scale") {
         Some(i) => {
             let v = args.get(i + 1).map(String::as_str).unwrap_or("");
-            parse_scale(v).unwrap_or_else(|e| usage_bail(&e))
+            parse_scale(v).unwrap_or_else(|e| usage_bail(&format!("--scale: {e}")))
         }
         None => default,
     }
@@ -180,16 +194,22 @@ impl std::fmt::Display for JobFailure {
 /// record per dead cell.
 #[derive(Debug, Clone)]
 pub struct MatrixRun {
-    /// Reports in `[bench][config]` order; `None` marks a failed job.
+    /// Reports in `[bench][config]` order; `None` marks a failed job (or,
+    /// on an interrupted run, a checkpointed or never-started one).
     pub reports: Vec<Vec<Option<SimReport>>>,
     /// One record per failed job (empty on a clean run).
     pub failures: Vec<JobFailure>,
+    /// Whether the run was cut short by an interrupt request (SIGINT on a
+    /// journaled campaign): in-flight cells were checkpointed at a cycle
+    /// boundary and the journal flushed, so a later `--resume` continues
+    /// where this run stopped.
+    pub interrupted: bool,
 }
 
 impl MatrixRun {
     /// Whether every job produced a report.
     pub fn is_complete(&self) -> bool {
-        self.failures.is_empty()
+        self.failures.is_empty() && !self.interrupted
     }
 
     /// Prints one line per failure to stderr (no-op on a clean run).
@@ -215,6 +235,7 @@ impl MatrixRun {
     ///
     /// Panics listing every failure if the run was not complete.
     pub fn expect_complete(self) -> Vec<Vec<SimReport>> {
+        assert!(!self.interrupted, "matrix run was interrupted");
         assert!(
             self.failures.is_empty(),
             "matrix run incomplete: {:?}",
@@ -227,9 +248,13 @@ impl MatrixRun {
     }
 
     /// The exit code a binary should end with: 0 for a clean run, 1 if
-    /// any job failed (partial results were still printed).
+    /// any job failed (partial results were still printed), 130 — the
+    /// conventional SIGINT code — if the run was interrupted and
+    /// checkpointed.
     pub fn exit_code(&self) -> std::process::ExitCode {
-        if self.is_complete() {
+        if self.interrupted {
+            std::process::ExitCode::from(130)
+        } else if self.failures.is_empty() {
             std::process::ExitCode::SUCCESS
         } else {
             std::process::ExitCode::from(1)
@@ -294,64 +319,443 @@ pub fn simulate_matrix(
     simulate_matrix_with(benches, scale, configs, CpuConfig::default())
 }
 
-/// [`simulate_matrix`] with an explicit machine configuration.
+/// [`simulate_matrix`] with an explicit machine configuration. The
+/// campaign options (`--journal`, `--resume`, `--timeout-secs`) are read
+/// from `argv` like the rest of the matrix flags; a journal problem is a
+/// usage error (reported and exit 2).
 pub fn simulate_matrix_with(
     benches: &[Benchmark],
     scale: Scale,
     configs: &[(String, PortConfig)],
     cpu_cfg: CpuConfig,
 ) -> MatrixRun {
-    use std::io::Write;
+    let opts = MatrixOpts {
+        cpu_cfg,
+        ..matrix_opts_from_args()
+    };
+    simulate_matrix_opts(benches, scale, configs, &opts).unwrap_or_else(|e| usage_bail(&e))
+}
+
+/// Campaign options for [`simulate_matrix_opts`].
+#[derive(Debug, Clone, Default)]
+pub struct MatrixOpts {
+    /// Machine configuration for every cell.
+    pub cpu_cfg: CpuConfig,
+    /// Per-job wall-clock budget. A cell still running when it expires is
+    /// recorded as a `timeout` failure (never retried: a hung model hangs
+    /// again) and the rest of the matrix continues. `None` disables it.
+    pub timeout: Option<Duration>,
+    /// Journal path. Enables crash-safe campaign journaling: every
+    /// finished cell is persisted with an atomic whole-file rewrite, and
+    /// SIGINT checkpoints in-flight cells instead of killing the process.
+    pub journal: Option<PathBuf>,
+    /// Resume from the journal at [`journal`](Self::journal): completed
+    /// cells are served from the journal, failed cells are re-run, and
+    /// checkpointed in-flight cells resume bit-identically from their
+    /// snapshots.
+    pub resume: bool,
+}
+
+/// Reads the campaign options from `argv`: `--journal <path>`,
+/// `--resume <path>` (sets the journal path *and* resume mode), and
+/// `--timeout-secs <N>`. Prints a usage message naming the offending
+/// flag and exits with status 2 on a malformed value.
+pub fn matrix_opts_from_args() -> MatrixOpts {
+    let args: Vec<String> = std::env::args().collect();
+    let mut opts = MatrixOpts::default();
+    if let Some(i) = args.iter().position(|a| a == "--journal") {
+        match args.get(i + 1) {
+            Some(p) if !p.starts_with("--") => opts.journal = Some(PathBuf::from(p)),
+            _ => usage_bail("--journal needs a file path, e.g. `--journal table3.journal`"),
+        }
+    }
+    if let Some(i) = args.iter().position(|a| a == "--resume") {
+        match args.get(i + 1) {
+            Some(p) if !p.starts_with("--") => {
+                opts.journal = Some(PathBuf::from(p));
+                opts.resume = true;
+            }
+            _ => usage_bail("--resume needs the journal path of the interrupted run"),
+        }
+    }
+    if let Some(i) = args.iter().position(|a| a == "--timeout-secs") {
+        let v = args.get(i + 1).map(String::as_str).unwrap_or("");
+        match v.parse::<u64>() {
+            Ok(n) if n > 0 => opts.timeout = Some(Duration::from_secs(n)),
+            _ => usage_bail(&format!(
+                "--timeout-secs needs a positive whole number of seconds, got `{v}`"
+            )),
+        }
+    }
+    opts
+}
+
+/// First line of every matrix run journal.
+const JOURNAL_HEADER: &str = "hbdc-journal v1";
+
+/// Cycle-chunk size for interruptible and timed jobs: large enough that
+/// the chunking overhead disappears into the noise, small enough that
+/// SIGINT and timeout latency stay in the low milliseconds.
+const CHUNK_CYCLES: u64 = 4096;
+
+/// Content fingerprint of a matrix campaign: scale, benchmark roster,
+/// column labels and port parameters, and the machine configuration. A
+/// journal records the fingerprint it was written under, and resuming it
+/// under any other matrix is refused rather than silently mixing results.
+fn matrix_hash(
+    benches: &[Benchmark],
+    scale: Scale,
+    configs: &[(String, PortConfig)],
+    cpu_cfg: &CpuConfig,
+) -> u64 {
+    let mut w = StateWriter::new();
+    w.put_str(scale_label(scale));
+    w.put_usize(benches.len());
+    for b in benches {
+        w.put_str(b.name());
+    }
+    w.put_usize(configs.len());
+    for (label, port) in configs {
+        w.put_str(label);
+        port.save_state(&mut w);
+    }
+    cpu_cfg.save_state(&mut w);
+    fnv1a64(&w.into_bytes())
+}
+
+/// Where a journaled run checkpoints cell `idx`'s in-flight simulator
+/// state on interrupt (deleted once the cell completes).
+fn cell_snap_path(journal: &Path, idx: usize) -> PathBuf {
+    let mut name = journal.as_os_str().to_owned();
+    name.push(format!(".cell{idx}.snap"));
+    PathBuf::from(name)
+}
+
+/// Folds a failure message onto one journal line (`\` / newline / tab
+/// escaped). Failure text is informational on resume — failed cells are
+/// re-run, not reloaded — so no unescape is needed.
+fn escape_error(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('\n', "\\n")
+        .replace('\t', "\\t")
+}
+
+/// The campaign log: one `ok`/`fail` line per finished cell under a
+/// `(header, matrix-hash, cell-count)` preamble. [`flush`](Self::flush)
+/// atomically rewrites the whole file, so a kill at any instant leaves
+/// either the previous journal or the new one on disk — never a torn
+/// file.
+struct Journal {
+    path: PathBuf,
+    hash: u64,
+    lines: Vec<Option<String>>,
+}
+
+impl Journal {
+    fn new(path: PathBuf, hash: u64, total: usize) -> Self {
+        Self {
+            path,
+            hash,
+            lines: vec![None; total],
+        }
+    }
+
+    fn record_ok(&mut self, idx: usize, attempts: u32, report: &SimReport) {
+        self.lines[idx] = Some(format!("ok {idx} {attempts} {}", report.to_record()));
+    }
+
+    fn record_fail(&mut self, idx: usize, attempts: u32, error: &str) {
+        self.lines[idx] = Some(format!("fail {idx} {attempts} {}", escape_error(error)));
+    }
+
+    fn flush(&self) -> Result<(), String> {
+        let mut out = format!(
+            "{JOURNAL_HEADER}\nmatrix {:016x}\ncells {}\n",
+            self.hash,
+            self.lines.len()
+        );
+        for line in self.lines.iter().flatten() {
+            out.push_str(line);
+            out.push('\n');
+        }
+        write_atomic(&self.path, out.as_bytes())
+            .map_err(|e| format!("journal {}: {e}", self.path.display()))
+    }
+}
+
+/// Parses and validates a journal for resumption: the header, matrix
+/// fingerprint, and cell count must all match this run. Returns the
+/// completed (`ok`) cells; `fail` cells are dropped so the resume re-runs
+/// them.
+fn load_journal(
+    path: &Path,
+    hash: u64,
+    total: usize,
+) -> Result<Vec<Option<(SimReport, u32)>>, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read journal {}: {e}", path.display()))?;
+    let mut lines = text.lines();
+    match lines.next() {
+        Some(JOURNAL_HEADER) => {}
+        Some(other) => {
+            return Err(format!(
+                "{}: not a matrix journal (first line `{other}`, expected `{JOURNAL_HEADER}`)",
+                path.display()
+            ))
+        }
+        None => return Err(format!("{}: journal is empty", path.display())),
+    }
+    let found_hash = lines
+        .next()
+        .and_then(|l| l.strip_prefix("matrix "))
+        .and_then(|h| u64::from_str_radix(h, 16).ok())
+        .ok_or_else(|| format!("{}: malformed `matrix` header line", path.display()))?;
+    if found_hash != hash {
+        return Err(format!(
+            "{}: journal fingerprint {found_hash:016x} does not match this run's {hash:016x} \
+             (different benchmarks, scale, port configs, or machine config); refusing to resume",
+            path.display()
+        ));
+    }
+    let cells = lines
+        .next()
+        .and_then(|l| l.strip_prefix("cells "))
+        .and_then(|n| n.parse::<usize>().ok())
+        .ok_or_else(|| format!("{}: malformed `cells` header line", path.display()))?;
+    if cells != total {
+        return Err(format!(
+            "{}: journal covers {cells} cells, this run has {total}",
+            path.display()
+        ));
+    }
+    let mut out: Vec<Option<(SimReport, u32)>> = vec![None; total];
+    for (lineno, line) in lines.enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        let bad = |what: &str| format!("{}:{}: {what}: `{line}`", path.display(), lineno + 4);
+        let mut parts = line.splitn(4, ' ');
+        let tag = parts.next().unwrap_or("");
+        let idx: usize = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| bad("malformed cell index"))?;
+        if idx >= total {
+            return Err(bad("cell index out of range"));
+        }
+        let attempts: u32 = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| bad("malformed attempt count"))?;
+        let rest = parts.next().unwrap_or("");
+        match tag {
+            "ok" => {
+                let report = SimReport::from_record(rest).map_err(|e| bad(&e))?;
+                out[idx] = Some((report, attempts));
+            }
+            "fail" => {} // re-run failed cells on resume
+            _ => return Err(bad("unknown record tag")),
+        }
+    }
+    Ok(out)
+}
+
+/// One matrix cell's outcome as a worker reports it.
+enum JobOutcome {
+    /// The simulation finished and produced a report.
+    Done(Box<SimReport>),
+    /// The simulation (or its setup) failed; the rendered error.
+    Failed(String),
+    /// An interrupt was requested; the in-flight state was checkpointed
+    /// to the cell's snapshot file.
+    Interrupted,
+}
+
+/// Runs one matrix cell. Plain cells run straight to completion; cells
+/// with a timeout or a checkpoint path run in [`CHUNK_CYCLES`]-cycle
+/// slices, polling the interrupt latch and the wall clock between slices.
+/// Panics anywhere inside (kernel generators included) are caught and
+/// rendered as failures.
+fn run_cell(
+    bench: &Benchmark,
+    scale: Scale,
+    port: PortConfig,
+    cpu_cfg: CpuConfig,
+    timeout: Option<Duration>,
+    checkpoint: Option<&Path>,
+    resume: bool,
+) -> JobOutcome {
     use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    let body = || -> JobOutcome {
+        if checkpoint.is_none() && timeout.is_none() {
+            // Fast path: nothing to poll for between cycle chunks.
+            return match simulate_with(bench, scale, port, cpu_cfg) {
+                Ok(r) => JobOutcome::Done(Box::new(r)),
+                Err(e) => JobOutcome::Failed(e.to_string()),
+            };
+        }
+        let resumed = checkpoint.filter(|p| resume && p.exists()).map(|p| {
+            SimSnapshot::read_from_path(p)
+                .map_err(SimError::from)
+                .and_then(|snap| Simulator::resume(&snap))
+        });
+        let built = match resumed {
+            Some(Ok(sim)) => Ok(sim),
+            // A stale or corrupt cell checkpoint costs a fresh run of that
+            // one cell, never the campaign.
+            Some(Err(_)) | None => {
+                let program = bench.build(scale);
+                Simulator::try_new(&program, cpu_cfg, HierarchyConfig::default(), port)
+            }
+        };
+        let mut sim = match built {
+            Ok(sim) => sim,
+            Err(e) => return JobOutcome::Failed(e.to_string()),
+        };
+        let start = Instant::now();
+        loop {
+            match sim.run_for(CHUNK_CYCLES) {
+                Ok(true) => return JobOutcome::Done(Box::new(sim.report())),
+                Ok(false) => {}
+                Err(e) => return JobOutcome::Failed(e.to_string()),
+            }
+            if let Some(path) = checkpoint {
+                if interrupt::requested() {
+                    return match sim.save_snapshot().write_to_path(path) {
+                        Ok(()) => JobOutcome::Interrupted,
+                        Err(e) => JobOutcome::Failed(format!("interrupt checkpoint: {e}")),
+                    };
+                }
+            }
+            if let Some(t) = timeout {
+                if start.elapsed() >= t {
+                    return JobOutcome::Failed(format!(
+                        "timeout: exceeded the {:.3}s wall-clock budget at cycle {} \
+                         ({} committed)",
+                        t.as_secs_f64(),
+                        sim.current_cycle(),
+                        sim.committed()
+                    ));
+                }
+            }
+        }
+    };
+    match catch_unwind(AssertUnwindSafe(body)) {
+        Ok(outcome) => outcome,
+        Err(payload) => JobOutcome::Failed(panic_message(payload)),
+    }
+}
+
+/// [`simulate_matrix`] with the full campaign option set — the journaled,
+/// resumable, interruptible engine underneath every matrix entry point.
+///
+/// **Journaling** ([`MatrixOpts::journal`]): each finished cell (success
+/// or failure) is recorded in a text journal that is atomically rewritten
+/// after every cell, and the SIGINT latch is installed: on Ctrl-C,
+/// workers checkpoint their in-flight simulation to
+/// `<journal>.cell<idx>.snap` at the next cycle-chunk boundary, unstarted
+/// cells are left for later, and the run returns with
+/// [`MatrixRun::interrupted`] set. **Resuming** ([`MatrixOpts::resume`]):
+/// `ok` cells are served from the journal, `fail` cells re-run, and
+/// checkpointed cells resumed bit-identically from their snapshots — the
+/// resumed campaign's reports equal an uninterrupted run's.
+///
+/// # Errors
+///
+/// Fails only on journal problems: an unreadable or corrupt journal, a
+/// fingerprint mismatch (the journal belongs to a different matrix), or
+/// an I/O failure flushing it.
+pub fn simulate_matrix_opts(
+    benches: &[Benchmark],
+    scale: Scale,
+    configs: &[(String, PortConfig)],
+    opts: &MatrixOpts,
+) -> Result<MatrixRun, String> {
+    use std::io::Write;
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::mpsc;
 
+    type JobResult = Result<SimReport, String>;
+
     let total = benches.len() * configs.len();
+    let hash = matrix_hash(benches, scale, configs, &opts.cpu_cfg);
+    let mut slots: Vec<Option<JobResult>> = (0..total).map(|_| None).collect();
+    let mut attempts_by_slot: Vec<u32> = vec![0; total];
+
+    let mut journal = match &opts.journal {
+        Some(path) => {
+            let mut j = Journal::new(path.clone(), hash, total);
+            if opts.resume {
+                for (i, cell) in load_journal(path, hash, total)?.into_iter().enumerate() {
+                    if let Some((report, attempts)) = cell {
+                        j.record_ok(i, attempts, &report);
+                        slots[i] = Some(Ok(report));
+                        attempts_by_slot[i] = attempts;
+                    }
+                }
+            }
+            // The journal exists (header at minimum) from the first
+            // instant, so a kill at any point leaves a resumable file.
+            j.flush()?;
+            interrupt::install();
+            Some(j)
+        }
+        None => None,
+    };
+
+    let pending: Vec<usize> = (0..total).filter(|&i| slots[i].is_none()).collect();
     let threads = threads_from_args()
         .unwrap_or_else(|| {
             std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(4)
         })
-        .min(total.max(1));
+        .min(pending.len().max(1));
     install_worker_panic_hook();
 
-    type JobResult = Result<SimReport, String>;
     let next = AtomicUsize::new(0);
-    let (tx, rx) = mpsc::channel::<(usize, JobResult, u32)>();
-    let mut slots: Vec<Option<JobResult>> = (0..total).map(|_| None).collect();
-    let mut attempts_by_slot: Vec<u32> = vec![0; total];
+    let (tx, rx) = mpsc::channel::<(usize, JobOutcome, u32)>();
 
-    std::thread::scope(|scope| {
+    let scope_result: Result<(), String> = std::thread::scope(|scope| {
         let next = &next;
+        let pending = &pending;
         for w in 0..threads {
             let tx = tx.clone();
             let worker = std::thread::Builder::new().name(format!("{WORKER_PREFIX}-{w}"));
             let body = move || loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= total {
+                let k = next.fetch_add(1, Ordering::Relaxed);
+                if k >= pending.len() {
                     break;
                 }
+                let i = pending[k];
                 let bench = &benches[i / configs.len()];
                 let (_, port) = &configs[i % configs.len()];
-                let run_once = || -> JobResult {
-                    match catch_unwind(AssertUnwindSafe(|| {
-                        simulate_with(bench, scale, *port, cpu_cfg)
-                    })) {
-                        Ok(Ok(report)) => Ok(report),
-                        Ok(Err(e)) => Err(e.to_string()),
-                        Err(payload) => Err(panic_message(payload)),
-                    }
+                let ckpt = opts.journal.as_deref().map(|p| cell_snap_path(p, i));
+                let run_once = || {
+                    run_cell(
+                        bench,
+                        scale,
+                        *port,
+                        opts.cpu_cfg,
+                        opts.timeout,
+                        ckpt.as_deref(),
+                        opts.resume,
+                    )
                 };
                 let mut attempts = 1;
-                let mut result = run_once();
-                if result.is_err() {
+                let mut outcome = run_once();
+                if matches!(&outcome, JobOutcome::Failed(e) if !e.starts_with("timeout")) {
                     // One retry guards against transient host conditions
-                    // (simulations themselves are deterministic).
+                    // (simulations themselves are deterministic). Timeouts
+                    // are exempt: a hung model hangs again.
                     attempts = 2;
-                    result = run_once();
+                    outcome = run_once();
                 }
-                if tx.send((i, result, attempts)).is_err() {
+                let interrupted = matches!(outcome, JobOutcome::Interrupted);
+                if tx.send((i, outcome, attempts)).is_err() || interrupted {
+                    // On interrupt, wind down instead of claiming more
+                    // cells; the journal records where we stopped.
                     break;
                 }
             };
@@ -362,15 +766,50 @@ pub fn simulate_matrix_with(
             }
         }
         drop(tx); // the receive loop ends once every worker finishes
-        let mut err = std::io::stderr().lock();
-        for (i, result, attempts) in rx {
+        let mut marks = std::io::stderr().lock();
+        for (i, outcome, attempts) in rx {
             debug_assert!(slots[i].is_none(), "task {i} ran twice");
-            let _ = write!(err, "{}", if result.is_ok() { "." } else { "x" });
-            slots[i] = Some(result);
+            let mark = match &outcome {
+                JobOutcome::Done(_) => ".",
+                JobOutcome::Failed(_) => "x",
+                JobOutcome::Interrupted => "!",
+            };
+            let _ = write!(marks, "{mark}");
             attempts_by_slot[i] = attempts;
+            if let Some(j) = journal.as_mut() {
+                match &outcome {
+                    JobOutcome::Done(r) => j.record_ok(i, attempts, r),
+                    JobOutcome::Failed(e) => j.record_fail(i, attempts, e),
+                    JobOutcome::Interrupted => {}
+                }
+                if !matches!(outcome, JobOutcome::Interrupted) {
+                    j.flush()?;
+                    // The cell is on the journal's books; its in-flight
+                    // checkpoint (if any) is now stale.
+                    let _ = std::fs::remove_file(cell_snap_path(&j.path, i));
+                }
+            }
+            match outcome {
+                JobOutcome::Done(r) => slots[i] = Some(Ok(*r)),
+                JobOutcome::Failed(e) => slots[i] = Some(Err(e)),
+                JobOutcome::Interrupted => {}
+            }
         }
-        let _ = writeln!(err);
+        let _ = writeln!(marks);
+        Ok(())
     });
+    scope_result?;
+
+    let interrupted = journal.is_some() && interrupt::requested();
+    if interrupted {
+        if let Some(j) = &journal {
+            eprintln!(
+                "interrupted: journal and cell checkpoints flushed; \
+                 rerun with --resume {} to continue",
+                j.path.display()
+            );
+        }
+    }
 
     let mut reports = Vec::with_capacity(benches.len());
     let mut failures = Vec::new();
@@ -379,9 +818,9 @@ pub fn simulate_matrix_with(
         let mut row = Vec::with_capacity(configs.len());
         for _ in 0..configs.len() {
             let (i, (result, attempts)) = it.next().expect("slots sized to the matrix");
-            match result.expect("every slot filled by the receive loop") {
-                Ok(report) => row.push(Some(report)),
-                Err(error) => {
+            match result {
+                Some(Ok(report)) => row.push(Some(report)),
+                Some(Err(error)) => {
                     row.push(None);
                     failures.push(JobFailure {
                         bench: bench.name().to_string(),
@@ -390,14 +829,21 @@ pub fn simulate_matrix_with(
                         error,
                     });
                 }
+                // Interrupted mid-flight or never started: no report, no
+                // failure record — the journal carries the resume state.
+                None => row.push(None),
             }
         }
         reports.push(row);
     }
     print_sim_speed(reports.iter().flatten().flatten());
-    let run = MatrixRun { reports, failures };
+    let run = MatrixRun {
+        reports,
+        failures,
+        interrupted,
+    };
     run.print_failure_summary();
-    run
+    Ok(run)
 }
 
 /// Summarizes simulator throughput over a set of finished reports.
@@ -496,7 +942,14 @@ pub fn benches_from_args() -> Vec<Benchmark> {
             let name = args.get(i + 1).map(String::as_str).unwrap_or("");
             match hbdc_workloads::by_name(name) {
                 Some(b) => vec![b],
-                None => usage_bail(&format!("unknown benchmark `{name}`")),
+                None => {
+                    let valid: Vec<&str> =
+                        hbdc_workloads::all().iter().map(Benchmark::name).collect();
+                    usage_bail(&format!(
+                        "--bench: unknown benchmark `{name}` (valid: {})",
+                        valid.join(", ")
+                    ))
+                }
             }
         }
         None => hbdc_workloads::all(),
@@ -634,6 +1087,7 @@ mod tests {
         let clean = MatrixRun {
             reports: vec![],
             failures: vec![],
+            interrupted: false,
         };
         // ExitCode lacks PartialEq; compare the Debug renderings.
         assert_eq!(
@@ -648,10 +1102,189 @@ mod tests {
                 attempts: 2,
                 error: "boom".into(),
             }],
+            interrupted: false,
         };
         assert_eq!(
             format!("{:?}", dirty.exit_code()),
             format!("{:?}", std::process::ExitCode::from(1))
         );
+        let interrupted = MatrixRun {
+            reports: vec![vec![None]],
+            failures: vec![],
+            interrupted: true,
+        };
+        assert!(!interrupted.is_complete());
+        assert_eq!(
+            format!("{:?}", interrupted.exit_code()),
+            format!("{:?}", std::process::ExitCode::from(130))
+        );
+    }
+
+    /// A scratch directory unique to this test process.
+    fn scratch_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("hbdc-runner-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    /// The SIGINT latch is process-global, so tests that trigger it — or
+    /// run a journaled matrix, which polls it — serialize on this lock to
+    /// keep one test's Ctrl-C out of another's campaign.
+    fn latch_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn journaled_interrupt_and_resume_matches_uninterrupted() {
+        let _guard = latch_lock();
+        let dir = scratch_dir("interrupt");
+        let journal = dir.join("run.journal");
+        let _ = std::fs::remove_file(&journal);
+        let benches = vec![by_name("li").unwrap()];
+        let configs = vec![
+            ("i2".to_string(), PortConfig::Ideal { ports: 2 }),
+            ("b4".to_string(), PortConfig::banked(4)),
+        ];
+        let opts = MatrixOpts {
+            journal: Some(journal.clone()),
+            ..MatrixOpts::default()
+        };
+
+        // With the latch already set, every claimed cell runs exactly one
+        // cycle chunk, checkpoints, and winds down — a deterministic
+        // mid-run interruption.
+        interrupt::reset();
+        interrupt::trigger();
+        let halted = simulate_matrix_opts(&benches, Scale::Test, &configs, &opts).unwrap();
+        interrupt::reset();
+        assert!(halted.interrupted);
+        assert!(halted.failures.is_empty());
+        assert!(halted.reports[0].iter().all(Option::is_none));
+        assert!(
+            (0..2).any(|i| cell_snap_path(&journal, i).exists()),
+            "an in-flight cell checkpoint must exist after the interrupt"
+        );
+        assert!(journal.exists(), "the journal is flushed on interrupt");
+
+        // Resume runs the campaign to completion from the checkpoints.
+        let resume_opts = MatrixOpts {
+            resume: true,
+            ..opts.clone()
+        };
+        let resumed = simulate_matrix_opts(&benches, Scale::Test, &configs, &resume_opts)
+            .unwrap()
+            .expect_complete();
+        assert!(
+            (0..2).all(|i| !cell_snap_path(&journal, i).exists()),
+            "completed cells delete their checkpoints"
+        );
+
+        // The interrupted-then-resumed campaign equals an uninterrupted
+        // one, bit for bit.
+        let fresh = simulate_matrix_with(&benches, Scale::Test, &configs, CpuConfig::default())
+            .expect_complete();
+        assert_eq!(resumed, fresh);
+
+        // A second resume serves every cell straight from the journal
+        // (exercising the record parser) and still matches.
+        let replayed = simulate_matrix_opts(&benches, Scale::Test, &configs, &resume_opts)
+            .unwrap()
+            .expect_complete();
+        assert_eq!(replayed, fresh);
+    }
+
+    #[test]
+    fn resume_rejects_a_journal_from_a_different_matrix() {
+        let _guard = latch_lock();
+        interrupt::reset();
+        let dir = scratch_dir("mismatch");
+        let journal = dir.join("m.journal");
+        let benches = vec![by_name("li").unwrap()];
+        let configs_a = vec![("i2".to_string(), PortConfig::Ideal { ports: 2 })];
+        let opts = MatrixOpts {
+            journal: Some(journal.clone()),
+            ..MatrixOpts::default()
+        };
+        simulate_matrix_opts(&benches, Scale::Test, &configs_a, &opts)
+            .unwrap()
+            .expect_complete();
+
+        // Same journal, different port configuration: refused.
+        let configs_b = vec![("i4".to_string(), PortConfig::Ideal { ports: 4 })];
+        let resume_opts = MatrixOpts {
+            resume: true,
+            ..opts
+        };
+        let err =
+            simulate_matrix_opts(&benches, Scale::Test, &configs_b, &resume_opts).unwrap_err();
+        assert!(err.contains("does not match"), "{err}");
+        assert!(err.contains("refusing to resume"), "{err}");
+
+        // Garbage file: refused, with the offending path named.
+        std::fs::write(&journal, "not a journal\n").unwrap();
+        let err =
+            simulate_matrix_opts(&benches, Scale::Test, &configs_a, &resume_opts).unwrap_err();
+        assert!(err.contains("not a matrix journal"), "{err}");
+        assert!(err.contains("m.journal"), "{err}");
+    }
+
+    #[test]
+    fn per_job_timeout_fails_hung_cells_without_retry() {
+        let benches = vec![by_name("li").unwrap()];
+        let configs = vec![("i2".to_string(), PortConfig::Ideal { ports: 2 })];
+        let opts = MatrixOpts {
+            timeout: Some(Duration::from_nanos(1)),
+            ..MatrixOpts::default()
+        };
+        let run = simulate_matrix_opts(&benches, Scale::Test, &configs, &opts).unwrap();
+        assert!(!run.is_complete());
+        assert!(!run.interrupted);
+        assert_eq!(run.failures.len(), 1);
+        let f = &run.failures[0];
+        assert!(f.error.starts_with("timeout"), "{}", f.error);
+        assert!(f.error.contains("cycle"), "{}", f.error);
+        assert_eq!(f.attempts, 1, "timed-out jobs are not retried");
+    }
+
+    #[test]
+    fn journal_records_failures_for_rerun() {
+        let _guard = latch_lock();
+        interrupt::reset();
+        let dir = scratch_dir("fail-journal");
+        let journal = dir.join("f.journal");
+        let benches = vec![by_name("li").unwrap()];
+        // banks=3 fails PortConfig validation at build time.
+        let configs = vec![
+            ("good".to_string(), PortConfig::Ideal { ports: 2 }),
+            ("bad".to_string(), PortConfig::banked(3)),
+        ];
+        let opts = MatrixOpts {
+            journal: Some(journal.clone()),
+            ..MatrixOpts::default()
+        };
+        let run = simulate_matrix_opts(&benches, Scale::Test, &configs, &opts).unwrap();
+        assert_eq!(run.failures.len(), 1);
+        let text = std::fs::read_to_string(&journal).unwrap();
+        assert!(text.starts_with(JOURNAL_HEADER), "{text}");
+        assert!(text.contains("\nok 0 "), "{text}");
+        assert!(text.contains("\nfail 1 "), "{text}");
+
+        // Resuming re-runs the failed cell (and fails it again, since the
+        // configuration is still degenerate) while serving the good cell
+        // from the journal.
+        let resumed = simulate_matrix_opts(
+            &benches,
+            Scale::Test,
+            &configs,
+            &MatrixOpts {
+                resume: true,
+                ..opts
+            },
+        )
+        .unwrap();
+        assert!(resumed.reports[0][0].is_some());
+        assert!(resumed.reports[0][1].is_none());
+        assert_eq!(resumed.failures.len(), 1);
     }
 }

@@ -1,6 +1,7 @@
 //! Traditional multi-banking (interleaved cache).
 
 use hbdc_mem::BankMapper;
+use hbdc_snap::{SnapError, StateReader, StateWriter};
 
 use crate::audit::{self, Violation};
 use crate::model::PortModel;
@@ -98,6 +99,17 @@ impl PortModel for BankedPorts {
 
     fn stats(&self) -> &ArbStats {
         &self.stats
+    }
+
+    // `taken` is per-round scratch (cleared at the top of every
+    // arbitration), so the statistics are the only persistent state.
+    fn save_state(&self, w: &mut StateWriter) {
+        self.stats.save_state(w);
+    }
+
+    fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapError> {
+        self.taken.iter_mut().for_each(|t| *t = false);
+        self.stats.load_state(r)
     }
 
     /// Banked legality: at most one grant per bank per cycle, and the

@@ -1,5 +1,7 @@
 //! True (ideal) multi-porting.
 
+use hbdc_snap::{SnapError, StateReader, StateWriter};
+
 use crate::model::PortModel;
 use crate::request::MemRequest;
 use crate::stats::ArbStats;
@@ -69,6 +71,14 @@ impl PortModel for IdealPorts {
 
     fn stats(&self) -> &ArbStats {
         &self.stats
+    }
+
+    fn save_state(&self, w: &mut StateWriter) {
+        self.stats.save_state(w);
+    }
+
+    fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapError> {
+        self.stats.load_state(r)
     }
 }
 

@@ -1,6 +1,7 @@
 //! The `PortModel` trait and its configuration type.
 
 use hbdc_mem::{BankMapper, BankSelect};
+use hbdc_snap::{SnapError, StateReader, StateWriter};
 
 use crate::audit::{self, Violation};
 use crate::banked::BankedPorts;
@@ -73,6 +74,50 @@ pub trait PortModel {
     /// and the like) for watchdog diagnostic dumps. Empty by default.
     fn debug_state(&self) -> String {
         String::new()
+    }
+
+    /// Serializes every piece of state that affects future arbitration
+    /// decisions or reported statistics (store queues, accumulated
+    /// counters, injection RNG streams). The default writes nothing —
+    /// correct for any stateless model.
+    ///
+    /// Together with [`load_state`](Self::load_state) this must satisfy:
+    /// a model built from the same configuration that loads a saved state
+    /// continues *bit-identically* to the model that saved it.
+    fn save_state(&self, w: &mut StateWriter) {
+        let _ = w;
+    }
+
+    /// Restores state written by [`save_state`](Self::save_state) into a
+    /// model built from the same configuration. The default reads nothing.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::Corrupt`] when the serialized state cannot belong to
+    /// this model's configuration, or any decode error.
+    fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapError> {
+        let _ = r;
+        Ok(())
+    }
+}
+
+/// Stable wire tags for [`BankSelect`], used by the [`PortConfig`] codec.
+fn bank_select_tag(select: BankSelect) -> u8 {
+    match select {
+        BankSelect::BitSelect => 0,
+        BankSelect::XorFold => 1,
+        BankSelect::PseudoRandom => 2,
+    }
+}
+
+fn bank_select_from_tag(tag: u8) -> Result<BankSelect, SnapError> {
+    match tag {
+        0 => Ok(BankSelect::BitSelect),
+        1 => Ok(BankSelect::XorFold),
+        2 => Ok(BankSelect::PseudoRandom),
+        other => Err(SnapError::Corrupt(format!(
+            "unknown bank-select tag {other}"
+        ))),
     }
 }
 
@@ -214,6 +259,80 @@ impl PortConfig {
             policy: CombinePolicy::LeadingRequest,
         }
     }
+
+    /// Serializes the configuration with stable wire tags, so snapshots
+    /// written by one build decode in another.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        match *self {
+            PortConfig::Ideal { ports } => {
+                w.put_u8(0);
+                w.put_usize(ports);
+            }
+            PortConfig::Replicated { ports } => {
+                w.put_u8(1);
+                w.put_usize(ports);
+            }
+            PortConfig::Banked { banks, select } => {
+                w.put_u8(2);
+                w.put_u32(banks);
+                w.put_u8(bank_select_tag(select));
+            }
+            PortConfig::Lbic {
+                banks,
+                line_ports,
+                store_queue,
+                policy,
+            } => {
+                w.put_u8(3);
+                w.put_u32(banks);
+                w.put_usize(line_ports);
+                w.put_usize(store_queue);
+                w.put_u8(match policy {
+                    CombinePolicy::LeadingRequest => 0,
+                    CombinePolicy::LargestGroup => 1,
+                });
+            }
+        }
+    }
+
+    /// Decodes a configuration written by
+    /// [`save_state`](Self::save_state).
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::Corrupt`] on an unknown variant or policy tag, or any
+    /// decode error.
+    pub fn load_state(r: &mut StateReader<'_>) -> Result<Self, SnapError> {
+        match r.get_u8()? {
+            0 => Ok(PortConfig::Ideal {
+                ports: r.get_usize()?,
+            }),
+            1 => Ok(PortConfig::Replicated {
+                ports: r.get_usize()?,
+            }),
+            2 => Ok(PortConfig::Banked {
+                banks: r.get_u32()?,
+                select: bank_select_from_tag(r.get_u8()?)?,
+            }),
+            3 => Ok(PortConfig::Lbic {
+                banks: r.get_u32()?,
+                line_ports: r.get_usize()?,
+                store_queue: r.get_usize()?,
+                policy: match r.get_u8()? {
+                    0 => CombinePolicy::LeadingRequest,
+                    1 => CombinePolicy::LargestGroup,
+                    other => {
+                        return Err(SnapError::Corrupt(format!(
+                            "unknown combine-policy tag {other}"
+                        )))
+                    }
+                },
+            }),
+            other => Err(SnapError::Corrupt(format!(
+                "unknown port-config tag {other}"
+            ))),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -233,6 +352,43 @@ mod tests {
             assert_eq!(m.label(), label);
             assert_eq!(m.peak_per_cycle(), peak);
         }
+    }
+
+    #[test]
+    fn config_codec_roundtrips_every_variant() {
+        let cases = [
+            PortConfig::Ideal { ports: 4 },
+            PortConfig::Replicated { ports: 2 },
+            PortConfig::Banked {
+                banks: 8,
+                select: BankSelect::XorFold,
+            },
+            PortConfig::Lbic {
+                banks: 4,
+                line_ports: 2,
+                store_queue: 8,
+                policy: CombinePolicy::LargestGroup,
+            },
+        ];
+        for cfg in cases {
+            let mut w = StateWriter::new();
+            cfg.save_state(&mut w);
+            let bytes = w.into_bytes();
+            let mut r = StateReader::new(&bytes);
+            assert_eq!(PortConfig::load_state(&mut r).unwrap(), cfg);
+            r.expect_end().unwrap();
+        }
+    }
+
+    #[test]
+    fn config_codec_rejects_unknown_tag() {
+        let mut w = StateWriter::new();
+        w.put_u8(99);
+        let bytes = w.into_bytes();
+        assert!(matches!(
+            PortConfig::load_state(&mut StateReader::new(&bytes)),
+            Err(SnapError::Corrupt(_))
+        ));
     }
 
     #[test]

@@ -1,5 +1,7 @@
 //! Multi-porting by replication.
 
+use hbdc_snap::{SnapError, StateReader, StateWriter};
+
 use crate::audit::{self, Violation};
 use crate::model::PortModel;
 use crate::request::MemRequest;
@@ -88,6 +90,14 @@ impl PortModel for ReplicatedPorts {
 
     fn stats(&self) -> &ArbStats {
         &self.stats
+    }
+
+    fn save_state(&self, w: &mut StateWriter) {
+        self.stats.save_state(w);
+    }
+
+    fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapError> {
+        self.stats.load_state(r)
     }
 
     /// Replication legality: a store broadcasts to every cache copy, so a

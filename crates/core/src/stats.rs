@@ -1,6 +1,19 @@
 //! Arbitration statistics shared by all port models.
 
+use hbdc_snap::{SnapError, StateReader, StateWriter};
 use hbdc_stats::Histogram;
+
+/// Every model-specific counter name any bundled [`PortModel`] can bump.
+/// Serialized counters are interned against this table on load so the
+/// restored `extra` list holds the same `&'static str`s a live run does.
+const EXTRA_NAMES: [&str; 6] = [
+    "bank_conflicts",
+    "combined",
+    "store_serializations",
+    "port_exhaustion",
+    "sq_full_stalls",
+    "sq_drains",
+];
 
 /// Accounting collected by every [`PortModel`](crate::PortModel).
 ///
@@ -100,6 +113,49 @@ impl ArbStats {
             .map(|(_, v)| *v)
             .unwrap_or(0)
     }
+
+    /// Serializes all counters and the grants-per-cycle histogram. Extra
+    /// counter names go in by value and are interned on load.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        w.put_u64(self.cycles);
+        w.put_u64(self.offered);
+        w.put_u64(self.granted);
+        self.grants_per_cycle.save_state(w);
+        w.put_usize(self.extra.len());
+        for (name, v) in &self.extra {
+            w.put_str(name);
+            w.put_u64(*v);
+        }
+    }
+
+    /// Restores stats written by [`save_state`](Self::save_state) into
+    /// stats sized for the same peak grant rate.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::Corrupt`] on an extra-counter name no bundled model
+    /// emits or a histogram range mismatch, or any decode error.
+    pub fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapError> {
+        self.cycles = r.get_u64()?;
+        self.offered = r.get_u64()?;
+        self.granted = r.get_u64()?;
+        self.grants_per_cycle.load_state(r)?;
+        let n = r.get_usize()?;
+        self.extra.clear();
+        for _ in 0..n {
+            let name = r.get_str()?;
+            let value = r.get_u64()?;
+            let interned = EXTRA_NAMES
+                .iter()
+                .copied()
+                .find(|known| *known == name)
+                .ok_or_else(|| {
+                    SnapError::Corrupt(format!("unknown arbitration counter `{name}`"))
+                })?;
+            self.extra.push((interned, value));
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -136,5 +192,44 @@ mod tests {
         s.record_tick();
         s.record_tick();
         assert_eq!(s.cycles(), 2);
+    }
+
+    #[test]
+    fn state_roundtrip_interns_extra_names() {
+        let mut s = ArbStats::new(4);
+        s.record_round(3, 2);
+        s.record_tick();
+        s.bump("bank_conflicts", 5);
+        s.bump("combined", 2);
+        let mut w = StateWriter::new();
+        s.save_state(&mut w);
+        let bytes = w.into_bytes();
+
+        let mut restored = ArbStats::new(4);
+        restored.load_state(&mut StateReader::new(&bytes)).unwrap();
+        assert_eq!(restored.cycles(), 1);
+        assert_eq!(restored.offered(), 3);
+        assert_eq!(restored.granted(), 2);
+        assert_eq!(restored.extra_counter("bank_conflicts"), 5);
+        assert_eq!(restored.extra_counter("combined"), 2);
+        assert_eq!(restored.grants_per_cycle().total(), 1);
+    }
+
+    #[test]
+    fn load_rejects_unknown_extra_counter() {
+        let mut w = StateWriter::new();
+        w.put_u64(0); // cycles
+        w.put_u64(0); // offered
+        w.put_u64(0); // granted
+        Histogram::new("grants/cycle", 2).save_state(&mut w);
+        w.put_usize(1);
+        w.put_str("made_up_counter");
+        w.put_u64(9);
+        let bytes = w.into_bytes();
+        let mut s = ArbStats::new(2);
+        assert!(matches!(
+            s.load_state(&mut StateReader::new(&bytes)),
+            Err(SnapError::Corrupt(_))
+        ));
     }
 }

@@ -16,6 +16,8 @@
 //! of scope; the modeled cost is fetch starvation, which is the
 //! first-order IPC effect.
 
+use hbdc_snap::{SnapError, StateReader, StateWriter};
+
 /// A branch direction predictor.
 ///
 /// Implementations are table-based hardware models: they are *consulted*
@@ -29,6 +31,23 @@ pub trait BranchPredictor {
 
     /// A short label for reports.
     fn label(&self) -> String;
+
+    /// Serializes the predictor's learned state (counters, history) for a
+    /// checkpoint. Stateless predictors write nothing (the default).
+    fn save_state(&self, w: &mut StateWriter) {
+        let _ = w;
+    }
+
+    /// Restores state written by [`save_state`](Self::save_state) into a
+    /// predictor of identical geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapError`] on a truncated stream or a geometry mismatch.
+    fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapError> {
+        let _ = r;
+        Ok(())
+    }
 }
 
 /// Front-end configuration: perfect (the paper's assumption) or a real
@@ -81,6 +100,75 @@ impl PredictorKind {
                 entries,
                 history_bits,
             } => Box::new(Gshare::new(entries, history_bits)),
+        }
+    }
+
+    fn save_state(&self, w: &mut StateWriter) {
+        match *self {
+            PredictorKind::AlwaysTaken => w.put_u8(0),
+            PredictorKind::Bimodal { entries } => {
+                w.put_u8(1);
+                w.put_usize(entries);
+            }
+            PredictorKind::Gshare {
+                entries,
+                history_bits,
+            } => {
+                w.put_u8(2);
+                w.put_usize(entries);
+                w.put_u32(history_bits);
+            }
+        }
+    }
+
+    fn load_state(r: &mut StateReader<'_>) -> Result<Self, SnapError> {
+        match r.get_u8()? {
+            0 => Ok(PredictorKind::AlwaysTaken),
+            1 => Ok(PredictorKind::Bimodal {
+                entries: r.get_usize()?,
+            }),
+            2 => Ok(PredictorKind::Gshare {
+                entries: r.get_usize()?,
+                history_bits: r.get_u32()?,
+            }),
+            other => Err(SnapError::Corrupt(format!(
+                "unknown predictor kind tag {other}"
+            ))),
+        }
+    }
+}
+
+impl FrontEnd {
+    /// Serializes the front-end configuration with stable tags (perfect =
+    /// 0, predicted = 1).
+    pub fn save_state(&self, w: &mut StateWriter) {
+        match *self {
+            FrontEnd::Perfect => w.put_u8(0),
+            FrontEnd::Predicted {
+                kind,
+                redirect_penalty,
+            } => {
+                w.put_u8(1);
+                kind.save_state(w);
+                w.put_u32(redirect_penalty);
+            }
+        }
+    }
+
+    /// Reads a front-end configuration written by
+    /// [`save_state`](Self::save_state).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapError::Corrupt`] on an unknown tag.
+    pub fn load_state(r: &mut StateReader<'_>) -> Result<Self, SnapError> {
+        match r.get_u8()? {
+            0 => Ok(FrontEnd::Perfect),
+            1 => Ok(FrontEnd::Predicted {
+                kind: PredictorKind::load_state(r)?,
+                redirect_penalty: r.get_u32()?,
+            }),
+            other => Err(SnapError::Corrupt(format!("unknown front-end tag {other}"))),
         }
     }
 }
@@ -156,6 +244,14 @@ impl BranchPredictor for Bimodal {
     fn label(&self) -> String {
         format!("bimodal-{}", self.table.len())
     }
+
+    fn save_state(&self, w: &mut StateWriter) {
+        save_counters(&self.table, w);
+    }
+
+    fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapError> {
+        load_counters(&mut self.table, r)
+    }
 }
 
 /// Gshare: global branch history XORed with the PC indexes the counters.
@@ -207,6 +303,38 @@ impl BranchPredictor for Gshare {
     fn label(&self) -> String {
         format!("gshare-{}", self.table.len())
     }
+
+    fn save_state(&self, w: &mut StateWriter) {
+        save_counters(&self.table, w);
+        w.put_u32(self.history);
+    }
+
+    fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapError> {
+        load_counters(&mut self.table, r)?;
+        self.history = r.get_u32()? & self.history_mask;
+        Ok(())
+    }
+}
+
+fn save_counters(table: &[TwoBit], w: &mut StateWriter) {
+    w.put_usize(table.len());
+    for c in table {
+        w.put_u8(c.0);
+    }
+}
+
+fn load_counters(table: &mut [TwoBit], r: &mut StateReader<'_>) -> Result<(), SnapError> {
+    let n = r.get_usize()?;
+    if n != table.len() {
+        return Err(SnapError::Corrupt(format!(
+            "predictor snapshot has {n} counters, expected {}",
+            table.len()
+        )));
+    }
+    for c in table.iter_mut() {
+        c.0 = r.get_u8()?.min(3);
+    }
+    Ok(())
 }
 
 #[cfg(test)]

@@ -1,5 +1,7 @@
 //! Processor configuration (paper Table 1).
 
+use hbdc_snap::{SnapError, StateReader, StateWriter};
+
 use crate::bpred::FrontEnd;
 
 /// Configuration of the dynamic superscalar machine.
@@ -140,6 +142,58 @@ impl CpuConfig {
             return Err("cycle cap must be at least one cycle".into());
         }
         Ok(())
+    }
+
+    /// Serializes every configuration field (checkpoints embed the full
+    /// machine description so a resumed run needs no external config).
+    pub fn save_state(&self, w: &mut StateWriter) {
+        w.put_u32(self.fetch_width);
+        w.put_u32(self.issue_width);
+        w.put_u32(self.commit_width);
+        w.put_usize(self.ruu_size);
+        w.put_usize(self.lsq_size);
+        w.put_u32(self.int_alu_units);
+        w.put_u32(self.int_mult_units);
+        w.put_u32(self.int_div_units);
+        w.put_u32(self.fp_add_units);
+        w.put_u32(self.fp_mult_units);
+        w.put_u32(self.fp_div_units);
+        w.put_u32(self.ls_units);
+        w.put_u64(self.warmup_insts);
+        w.put_u64(self.max_insts);
+        self.front_end.save_state(w);
+        w.put_u64(self.watchdog_cycles);
+        w.put_u64(self.max_cycles);
+        w.put_bool(self.audit);
+    }
+
+    /// Reads a configuration written by [`save_state`](Self::save_state).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapError`] on a truncated stream or an unknown
+    /// front-end tag.
+    pub fn load_state(r: &mut StateReader<'_>) -> Result<Self, SnapError> {
+        Ok(Self {
+            fetch_width: r.get_u32()?,
+            issue_width: r.get_u32()?,
+            commit_width: r.get_u32()?,
+            ruu_size: r.get_usize()?,
+            lsq_size: r.get_usize()?,
+            int_alu_units: r.get_u32()?,
+            int_mult_units: r.get_u32()?,
+            int_div_units: r.get_u32()?,
+            fp_add_units: r.get_u32()?,
+            fp_mult_units: r.get_u32()?,
+            fp_div_units: r.get_u32()?,
+            ls_units: r.get_u32()?,
+            warmup_insts: r.get_u64()?,
+            max_insts: r.get_u64()?,
+            front_end: FrontEnd::load_state(r)?,
+            watchdog_cycles: r.get_u64()?,
+            max_cycles: r.get_u64()?,
+            audit: r.get_bool()?,
+        })
     }
 }
 

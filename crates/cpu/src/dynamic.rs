@@ -1,6 +1,7 @@
 //! Dynamic instruction records produced by the functional emulator.
 
 use hbdc_isa::Inst;
+use hbdc_snap::{SnapError, StateReader, StateWriter};
 
 /// One committed dynamic instruction: the static instruction plus the
 /// run-time facts the timing model needs (sequence number and, for memory
@@ -48,6 +49,37 @@ impl DynInst {
     /// Panics if this is not a memory instruction.
     pub fn mem_addr(&self) -> u64 {
         self.addr.expect("mem_addr on non-memory instruction")
+    }
+
+    /// Serializes the run-time facts only (seq, pc, address, direction);
+    /// the static instruction is re-derived from the program text on load,
+    /// so snapshots never duplicate the decoded text section.
+    pub(crate) fn save_slim(&self, w: &mut StateWriter) {
+        w.put_u64(self.seq);
+        w.put_u32(self.pc);
+        w.put_opt_u64(self.addr);
+        w.put_opt_bool(self.taken);
+    }
+
+    /// Reads a slim record back, re-deriving the instruction from `text`.
+    pub(crate) fn load_slim(r: &mut StateReader<'_>, text: &[Inst]) -> Result<Self, SnapError> {
+        let seq = r.get_u64()?;
+        let pc = r.get_u32()?;
+        let addr = r.get_opt_u64()?;
+        let taken = r.get_opt_bool()?;
+        let inst = *text.get(pc as usize).ok_or_else(|| {
+            SnapError::Corrupt(format!(
+                "dynamic instruction pc {pc} out of range for a {}-instruction text section",
+                text.len()
+            ))
+        })?;
+        Ok(Self {
+            seq,
+            pc,
+            inst,
+            addr,
+            taken,
+        })
     }
 }
 

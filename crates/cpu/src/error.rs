@@ -45,6 +45,9 @@ pub enum SimError {
         max_cycles: u64,
         /// Instructions committed within the budget.
         committed: u64,
+        /// Diagnostic dump: cycle/PC progress, window census, LSQ state,
+        /// port-model state.
+        dump: String,
     },
     /// The per-cycle invariant auditor found the arbitration or LSQ state
     /// structurally illegal.
@@ -57,6 +60,12 @@ pub enum SimError {
     /// The simulator was constructed from a degenerate configuration.
     Config {
         /// What was wrong with the configuration.
+        detail: String,
+    },
+    /// A checkpoint could not be written, read, or restored (I/O failure,
+    /// checksum mismatch, version skew, or internally inconsistent state).
+    Snapshot {
+        /// What was wrong with the snapshot.
         detail: String,
     },
 }
@@ -86,10 +95,11 @@ impl std::fmt::Display for SimError {
             SimError::CycleLimit {
                 max_cycles,
                 committed,
+                dump,
             } => write!(
                 f,
                 "cycle limit exceeded: {max_cycles} cycles simulated without finishing \
-                 ({committed} committed)"
+                 ({committed} committed)\n{dump}"
             ),
             SimError::Invariant { cycle, violations } => {
                 write!(f, "invariant violation at cycle {cycle}:")?;
@@ -99,11 +109,20 @@ impl std::fmt::Display for SimError {
                 Ok(())
             }
             SimError::Config { detail } => write!(f, "invalid configuration: {detail}"),
+            SimError::Snapshot { detail } => write!(f, "snapshot failure: {detail}"),
         }
     }
 }
 
 impl std::error::Error for SimError {}
+
+impl From<hbdc_snap::SnapError> for SimError {
+    fn from(e: hbdc_snap::SnapError) -> Self {
+        SimError::Snapshot {
+            detail: e.to_string(),
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {

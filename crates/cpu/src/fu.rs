@@ -1,6 +1,7 @@
 //! Functional-unit pools with Table 1 latencies.
 
 use hbdc_isa::FuClass;
+use hbdc_snap::{SnapError, StateReader, StateWriter};
 
 use crate::config::CpuConfig;
 
@@ -55,6 +56,27 @@ impl Pool {
         } else {
             false
         }
+    }
+
+    fn save_state(&self, w: &mut StateWriter) {
+        w.put_usize(self.busy_until.len());
+        for &b in &self.busy_until {
+            w.put_u64(b);
+        }
+    }
+
+    fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapError> {
+        let n = r.get_usize()?;
+        if n != self.busy_until.len() {
+            return Err(SnapError::Corrupt(format!(
+                "functional-unit pool snapshot has {n} units, expected {}",
+                self.busy_until.len()
+            )));
+        }
+        for b in &mut self.busy_until {
+            *b = r.get_u64()?;
+        }
+        Ok(())
     }
 }
 
@@ -113,6 +135,40 @@ impl FuPools {
             FuClass::LoadStore | FuClass::None => return Some(lat),
         };
         pool.try_issue(now, lat.issue).then_some(lat)
+    }
+
+    /// Serializes every pool's per-unit busy horizon.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        for pool in [
+            &self.int_alu,
+            &self.int_mult,
+            &self.int_div,
+            &self.fp_add,
+            &self.fp_mult,
+            &self.fp_div,
+        ] {
+            pool.save_state(w);
+        }
+    }
+
+    /// Restores state written by [`save_state`](Self::save_state) into
+    /// pools of identical sizes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapError::Corrupt`] if any pool's unit count differs.
+    pub fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapError> {
+        for pool in [
+            &mut self.int_alu,
+            &mut self.int_mult,
+            &mut self.int_div,
+            &mut self.fp_add,
+            &mut self.fp_mult,
+            &mut self.fp_div,
+        ] {
+            pool.load_state(r)?;
+        }
+        Ok(())
     }
 }
 

@@ -61,6 +61,7 @@ mod functional;
 mod lsq;
 mod report;
 mod sim;
+mod snapshot;
 mod window;
 
 pub use bpred::{AlwaysTaken, Bimodal, BranchPredictor, FrontEnd, Gshare, PredictorKind};
@@ -72,4 +73,5 @@ pub use functional::Emulator;
 pub use lsq::{Lsq, LsqStalls};
 pub use report::SimReport;
 pub use sim::{PipeStats, Simulator};
+pub use snapshot::{SimSnapshot, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
 pub use window::Window;

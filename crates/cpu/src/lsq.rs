@@ -3,6 +3,8 @@
 
 use std::collections::VecDeque;
 
+use hbdc_snap::{SnapError, StateReader, StateWriter};
+
 /// One memory reference that is ready to access the cache this cycle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheReady {
@@ -414,6 +416,78 @@ impl Lsq {
             .copied()
             .filter(|&o| o != NOT_MEM)?;
         self.entries.get((ordinal - self.retired) as usize)
+    }
+
+    /// Serializes the queue: every entry with its full ordering state,
+    /// the forward/stall counters, and the seq→index position map.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        w.put_usize(self.entries.len());
+        for e in &self.entries {
+            w.put_u64(e.seq);
+            w.put_u64(e.addr);
+            w.put_u64(e.width);
+            w.put_bool(e.is_store);
+            w.put_bool(e.addr_known);
+            w.put_bool(e.data_known);
+            w.put_bool(e.issued);
+            w.put_u64(e.dep_store);
+            w.put_bool(e.exact_fit);
+        }
+        w.put_u64(self.forwards);
+        w.put_u64(self.stalls.addr_unknown);
+        w.put_u64(self.stalls.prior_store_addr);
+        w.put_u64(self.stalls.store_overlap);
+        w.put_u64(self.pos_base);
+        w.put_usize(self.pos_map.len());
+        for &o in &self.pos_map {
+            w.put_u64(o);
+        }
+        w.put_u64(self.dispatched);
+        w.put_u64(self.retired);
+    }
+
+    /// Restores state written by [`save_state`](Self::save_state) into a
+    /// queue of the same capacity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapError::Corrupt`] if the stream holds more entries
+    /// than this queue's capacity.
+    pub fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapError> {
+        let n = r.get_usize()?;
+        if n > self.capacity {
+            return Err(SnapError::Corrupt(format!(
+                "LSQ snapshot holds {n} entries but capacity is {}",
+                self.capacity
+            )));
+        }
+        self.entries.clear();
+        for _ in 0..n {
+            self.entries.push_back(LsqEntry {
+                seq: r.get_u64()?,
+                addr: r.get_u64()?,
+                width: r.get_u64()?,
+                is_store: r.get_bool()?,
+                addr_known: r.get_bool()?,
+                data_known: r.get_bool()?,
+                issued: r.get_bool()?,
+                dep_store: r.get_u64()?,
+                exact_fit: r.get_bool()?,
+            });
+        }
+        self.forwards = r.get_u64()?;
+        self.stalls.addr_unknown = r.get_u64()?;
+        self.stalls.prior_store_addr = r.get_u64()?;
+        self.stalls.store_overlap = r.get_u64()?;
+        self.pos_base = r.get_u64()?;
+        let map_len = r.get_usize()?;
+        self.pos_map.clear();
+        for _ in 0..map_len {
+            self.pos_map.push_back(r.get_u64()?);
+        }
+        self.dispatched = r.get_u64()?;
+        self.retired = r.get_u64()?;
+        Ok(())
     }
 
     /// One-line occupancy snapshot for watchdog diagnostic dumps.

@@ -153,6 +153,80 @@ impl SimReport {
             self.l1_misses as f64 / self.l1_accesses as f64
         }
     }
+
+    /// Number of tab-separated fields in a [`to_record`](Self::to_record)
+    /// line: the fifteen simulated counters plus the port label.
+    const RECORD_FIELDS: usize = 16;
+
+    /// Renders the simulated-machine measurements as one tab-separated
+    /// record line (no trailing newline) for the matrix run journal.
+    ///
+    /// The host-timing fields (`wall_secs`, `cycles_per_sec`) describe a
+    /// run that already happened and are deliberately not persisted; they
+    /// parse back as zero, which [`PartialEq`] already ignores.
+    pub fn to_record(&self) -> String {
+        format!(
+            "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+            self.committed,
+            self.cycles,
+            self.loads,
+            self.stores,
+            self.forwards,
+            self.l1_accesses,
+            self.l1_misses,
+            self.l1_writebacks,
+            self.l2_accesses,
+            self.l2_misses,
+            self.arb_offered,
+            self.arb_granted,
+            self.bank_conflicts,
+            self.combined,
+            self.store_serializations,
+            self.port_label,
+        )
+    }
+
+    /// Parses a record line written by [`to_record`](Self::to_record).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the malformed or missing field.
+    pub fn from_record(line: &str) -> Result<Self, String> {
+        let fields: Vec<&str> = line.splitn(Self::RECORD_FIELDS, '\t').collect();
+        if fields.len() != Self::RECORD_FIELDS {
+            return Err(format!(
+                "report record has {} fields, expected {}",
+                fields.len(),
+                Self::RECORD_FIELDS
+            ));
+        }
+        let mut it = fields.iter();
+        let mut num = |name: &str| -> Result<u64, String> {
+            let raw = it.next().ok_or_else(|| format!("missing field {name}"))?;
+            raw.parse::<u64>()
+                .map_err(|e| format!("field {name} is not a count (`{raw}`): {e}"))
+        };
+        Ok(SimReport {
+            committed: num("committed")?,
+            cycles: num("cycles")?,
+            loads: num("loads")?,
+            stores: num("stores")?,
+            forwards: num("forwards")?,
+            l1_accesses: num("l1_accesses")?,
+            l1_misses: num("l1_misses")?,
+            l1_writebacks: num("l1_writebacks")?,
+            l2_accesses: num("l2_accesses")?,
+            l2_misses: num("l2_misses")?,
+            arb_offered: num("arb_offered")?,
+            arb_granted: num("arb_granted")?,
+            bank_conflicts: num("bank_conflicts")?,
+            combined: num("combined")?,
+            store_serializations: num("store_serializations")?,
+            port_label: fields[Self::RECORD_FIELDS - 1].to_string(),
+            wall_secs: 0.0,
+            cycles_per_sec: 0.0,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -217,6 +291,29 @@ mod tests {
         assert_eq!(r.mem_fraction(), 0.0);
         assert_eq!(r.store_to_load_ratio(), 0.0);
         assert_eq!(r.l1_miss_rate(), 0.0);
+    }
+
+    #[test]
+    fn record_roundtrip_preserves_simulated_fields() {
+        let r = SimReport {
+            wall_secs: 9.0,
+            cycles_per_sec: 1e6,
+            ..sample()
+        };
+        let parsed = SimReport::from_record(&r.to_record()).unwrap();
+        assert_eq!(parsed, r, "PartialEq ignores the host-timing fields");
+        assert_eq!(parsed.wall_secs, 0.0, "host timing is not persisted");
+        assert_eq!(parsed.port_label, "Bank-4");
+    }
+
+    #[test]
+    fn malformed_records_are_rejected_with_context() {
+        let err = SimReport::from_record("1\t2\t3").unwrap_err();
+        assert!(err.contains("3 fields"), "{err}");
+        let mut bad = sample().to_record();
+        bad = bad.replacen("250", "x250", 1);
+        let err = SimReport::from_record(&bad).unwrap_err();
+        assert!(err.contains("cycles") && err.contains("x250"), "{err}");
     }
 
     #[test]

@@ -5,7 +5,8 @@ use std::cell::Cell;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
-use hbdc_isa::ArchReg;
+use hbdc_isa::{ArchReg, Inst};
+use hbdc_snap::{SnapError, StateReader, StateWriter};
 
 use crate::dynamic::DynInst;
 
@@ -20,6 +21,29 @@ enum State {
     Issued,
     /// Result produced; dependents woken.
     Done,
+}
+
+impl State {
+    fn tag(self) -> u8 {
+        match self {
+            State::Waiting => 0,
+            State::Ready => 1,
+            State::Issued => 2,
+            State::Done => 3,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Result<Self, SnapError> {
+        match tag {
+            0 => Ok(State::Waiting),
+            1 => Ok(State::Ready),
+            2 => Ok(State::Issued),
+            3 => Ok(State::Done),
+            other => Err(SnapError::Corrupt(format!(
+                "unknown window entry state tag {other}"
+            ))),
+        }
+    }
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -458,6 +482,131 @@ impl Window {
         let mut out = Vec::new();
         self.commit_into(max, &mut out);
         out
+    }
+
+    /// The instruction record at `seq`, or `None` if it is not live in
+    /// the window (diagnostics; [`inst`](Self::inst) panics instead).
+    pub fn get(&self, seq: u64) -> Option<&DynInst> {
+        if seq < self.base_seq {
+            return None;
+        }
+        self.entries
+            .get((seq - self.base_seq) as usize)
+            .map(|e| &e.di)
+    }
+
+    /// Serializes the window's architectural timing state: every live
+    /// entry (as a slim dynamic record plus its dependence bookkeeping),
+    /// the per-register producer map, the pending completion events, and
+    /// the address-ready event queue. The ready bitmap is derivable from
+    /// entry states and is rebuilt on load; scratch (the dependent-vector
+    /// pool, the frontier hint) is not persisted.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        w.put_u64(self.base_seq);
+        w.put_usize(self.entries.len());
+        for e in &self.entries {
+            e.di.save_slim(w);
+            w.put_u8(e.state.tag());
+            w.put_u32(e.remaining_deps);
+            w.put_u32(e.addr_deps);
+            w.put_usize(e.dependents.len());
+            for d in &e.dependents {
+                w.put_u64(d.seq);
+                w.put_bool(d.addr);
+            }
+            w.put_bool(e.access_done);
+        }
+        for p in &self.producer {
+            w.put_opt_u64(*p);
+        }
+        // BinaryHeap iteration order is unspecified: emit completion
+        // events sorted so identical states always produce identical bytes.
+        let mut completions: Vec<(u64, u64)> =
+            self.completions.iter().map(|Reverse(p)| *p).collect();
+        completions.sort_unstable();
+        w.put_usize(completions.len());
+        for (at, seq) in completions {
+            w.put_u64(at);
+            w.put_u64(seq);
+        }
+        w.put_usize(self.addr_ready.len());
+        for &seq in &self.addr_ready {
+            w.put_u64(seq);
+        }
+    }
+
+    /// Restores state written by [`save_state`](Self::save_state) into a
+    /// window of the same capacity, re-deriving each entry's instruction
+    /// from `text` and rebuilding the ready bitmap.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapError::Corrupt`] if the stream holds more entries
+    /// than this window's capacity, names a PC outside `text`, or carries
+    /// an unknown state tag.
+    pub fn load_state(&mut self, r: &mut StateReader<'_>, text: &[Inst]) -> Result<(), SnapError> {
+        let base_seq = r.get_u64()?;
+        let n = r.get_usize()?;
+        if n > self.capacity {
+            return Err(SnapError::Corrupt(format!(
+                "window snapshot holds {n} entries but capacity is {}",
+                self.capacity
+            )));
+        }
+        self.base_seq = base_seq;
+        self.entries.clear();
+        for _ in 0..n {
+            let di = DynInst::load_slim(r, text)?;
+            let state = State::from_tag(r.get_u8()?)?;
+            let remaining_deps = r.get_u32()?;
+            let addr_deps = r.get_u32()?;
+            let deps = r.get_usize()?;
+            let mut dependents = self.dep_pool.pop().unwrap_or_default();
+            dependents.clear();
+            for _ in 0..deps {
+                let seq = r.get_u64()?;
+                let addr = r.get_bool()?;
+                dependents.push(Dependent { seq, addr });
+            }
+            let access_done = r.get_bool()?;
+            self.entries.push_back(Entry {
+                di,
+                state,
+                remaining_deps,
+                addr_deps,
+                dependents,
+                access_done,
+            });
+        }
+        for p in &mut self.producer {
+            *p = r.get_opt_u64()?;
+        }
+        self.completions.clear();
+        let completions = r.get_usize()?;
+        for _ in 0..completions {
+            let at = r.get_u64()?;
+            let seq = r.get_u64()?;
+            self.completions.push(Reverse((at, seq)));
+        }
+        self.addr_ready.clear();
+        let addr_ready = r.get_usize()?;
+        for _ in 0..addr_ready {
+            self.addr_ready.push(r.get_u64()?);
+        }
+        // Rebuild the ready bitmap from the restored entry states.
+        self.ready.iter_mut().for_each(|word| *word = 0);
+        self.ready_count = 0;
+        let ready_seqs: Vec<u64> = self
+            .entries
+            .iter()
+            .filter(|e| e.state == State::Ready)
+            .map(|e| e.di.seq)
+            .collect();
+        for seq in ready_seqs {
+            self.set_ready(seq);
+        }
+        self.frontier_hint.set(self.base_seq);
+        Ok(())
     }
 }
 

@@ -1,5 +1,7 @@
 //! The L1 → L2 → DRAM timing model (paper Table 1).
 
+use hbdc_snap::{SnapError, StateReader, StateWriter};
+
 use crate::geometry::CacheGeometry;
 use crate::mshr::{MshrFile, MshrOutcome};
 use crate::stats::CacheStats;
@@ -33,6 +35,43 @@ pub struct HierarchyConfig {
     pub mem_latency: u64,
     /// Number of L1 MSHRs (bound on outstanding misses).
     pub mshr_entries: usize,
+}
+
+impl HierarchyConfig {
+    /// Serializes every configuration field.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        w.put_u64(self.l1_size);
+        w.put_u64(self.l1_line);
+        w.put_u32(self.l1_assoc);
+        w.put_u64(self.l1_hit_latency);
+        w.put_u64(self.l2_size);
+        w.put_u64(self.l2_line);
+        w.put_u32(self.l2_assoc);
+        w.put_u64(self.l2_latency);
+        w.put_u64(self.mem_latency);
+        w.put_usize(self.mshr_entries);
+    }
+
+    /// Decodes a configuration written by
+    /// [`save_state`](Self::save_state).
+    ///
+    /// # Errors
+    ///
+    /// Any decode error from the reader.
+    pub fn load_state(r: &mut StateReader<'_>) -> Result<Self, SnapError> {
+        Ok(Self {
+            l1_size: r.get_u64()?,
+            l1_line: r.get_u64()?,
+            l1_assoc: r.get_u32()?,
+            l1_hit_latency: r.get_u64()?,
+            l2_size: r.get_u64()?,
+            l2_line: r.get_u64()?,
+            l2_assoc: r.get_u32()?,
+            l2_latency: r.get_u64()?,
+            mem_latency: r.get_u64()?,
+            mshr_entries: r.get_usize()?,
+        })
+    }
 }
 
 impl Default for HierarchyConfig {
@@ -234,6 +273,36 @@ impl Hierarchy {
     pub fn mem_writebacks(&self) -> u64 {
         self.mem_writebacks
     }
+
+    /// Serializes both tag arrays, the MSHR file, and all statistics.
+    /// The configuration is *not* serialized here — callers persist it
+    /// separately (see [`HierarchyConfig::save_state`]) and rebuild via
+    /// [`Hierarchy::new`] before loading.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        self.l1.save_state(w);
+        self.l2.save_state(w);
+        self.mshrs.save_state(w);
+        self.l1_stats.save_state(w);
+        self.l2_stats.save_state(w);
+        w.put_u64(self.mem_writebacks);
+    }
+
+    /// Restores state written by [`save_state`](Self::save_state) into a
+    /// hierarchy built with the same configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::Corrupt`] on a geometry or capacity mismatch, or any
+    /// decode error.
+    pub fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapError> {
+        self.l1.load_state(r)?;
+        self.l2.load_state(r)?;
+        self.mshrs.load_state(r)?;
+        self.l1_stats.load_state(r)?;
+        self.l2_stats.load_state(r)?;
+        self.mem_writebacks = r.get_u64()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -336,6 +405,39 @@ mod tests {
         h.access(0x0008, true, 1); // merged store must dirty the line
         h.access(0x8000, false, 100); // evict → writeback expected
         assert_eq!(h.l1_stats().writebacks(), 1);
+    }
+
+    #[test]
+    fn state_roundtrip_continues_bit_identically() {
+        let mut h = hier();
+        for i in 0..32u64 {
+            h.access(i * 0x340, i % 3 == 0, i * 7);
+        }
+        let mut w = StateWriter::new();
+        h.save_state(&mut w);
+        let bytes = w.into_bytes();
+
+        let mut restored = hier();
+        restored.load_state(&mut StateReader::new(&bytes)).unwrap();
+        // Identical accesses from here on produce identical outcomes.
+        for i in 0..16u64 {
+            let a = h.access(i * 0x2340, i % 2 == 0, 400 + i * 3);
+            let b = restored.access(i * 0x2340, i % 2 == 0, 400 + i * 3);
+            assert_eq!(a, b);
+        }
+        assert_eq!(restored.l1_stats().accesses(), h.l1_stats().accesses());
+        assert_eq!(restored.l2_stats().misses(), h.l2_stats().misses());
+        assert_eq!(restored.mem_writebacks(), h.mem_writebacks());
+    }
+
+    #[test]
+    fn config_codec_roundtrip() {
+        let cfg = HierarchyConfig::default();
+        let mut w = StateWriter::new();
+        cfg.save_state(&mut w);
+        let bytes = w.into_bytes();
+        let back = HierarchyConfig::load_state(&mut StateReader::new(&bytes)).unwrap();
+        assert_eq!(back, cfg);
     }
 
     #[test]

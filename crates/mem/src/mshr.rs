@@ -2,6 +2,8 @@
 
 use std::collections::HashMap;
 
+use hbdc_snap::{SnapError, StateReader, StateWriter};
+
 /// Outcome of registering a miss with the [`MshrFile`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MshrOutcome {
@@ -104,6 +106,45 @@ impl MshrFile {
     pub fn rejects(&self) -> u64 {
         self.rejects
     }
+
+    /// Serializes outstanding misses in ascending line order (so the byte
+    /// stream is deterministic) plus the merge/reject counters.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        let mut lines: Vec<u64> = self.entries.keys().copied().collect();
+        lines.sort_unstable();
+        w.put_usize(lines.len());
+        for line in lines {
+            w.put_u64(line);
+            w.put_u64(self.entries[&line]);
+        }
+        w.put_u64(self.merges);
+        w.put_u64(self.rejects);
+    }
+
+    /// Restores state written by [`save_state`](Self::save_state).
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::Corrupt`] if more entries are serialized than this
+    /// file's capacity, or any decode error.
+    pub fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapError> {
+        let n = r.get_usize()?;
+        if n > self.capacity {
+            return Err(SnapError::Corrupt(format!(
+                "{n} outstanding misses exceed the MSHR capacity {}",
+                self.capacity
+            )));
+        }
+        self.entries.clear();
+        for _ in 0..n {
+            let line = r.get_u64()?;
+            let ready = r.get_u64()?;
+            self.entries.insert(line, ready);
+        }
+        self.merges = r.get_u64()?;
+        self.rejects = r.get_u64()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -146,5 +187,39 @@ mod tests {
     #[should_panic(expected = "at least one entry")]
     fn zero_capacity_panics() {
         MshrFile::new(0);
+    }
+
+    #[test]
+    fn state_roundtrip_preserves_outstanding_misses() {
+        let mut m = MshrFile::new(4);
+        m.register(0x40, 10);
+        m.register(0x80, 20);
+        m.register(0x40, 99); // merge
+        let mut w = StateWriter::new();
+        m.save_state(&mut w);
+        let bytes = w.into_bytes();
+
+        let mut restored = MshrFile::new(4);
+        restored.load_state(&mut StateReader::new(&bytes)).unwrap();
+        assert_eq!(restored.ready_at(0x40), Some(10));
+        assert_eq!(restored.ready_at(0x80), Some(20));
+        assert_eq!(restored.outstanding(), 2);
+        assert_eq!(restored.merges(), 1);
+    }
+
+    #[test]
+    fn load_rejects_overcapacity_state() {
+        let mut big = MshrFile::new(8);
+        for i in 0..8u64 {
+            big.register(i * 0x40, 10);
+        }
+        let mut w = StateWriter::new();
+        big.save_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut small = MshrFile::new(2);
+        assert!(matches!(
+            small.load_state(&mut StateReader::new(&bytes)),
+            Err(SnapError::Corrupt(_))
+        ));
     }
 }

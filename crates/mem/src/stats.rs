@@ -1,5 +1,6 @@
 //! Per-cache statistics.
 
+use hbdc_snap::{SnapError, StateReader, StateWriter};
 use hbdc_stats::Counter;
 
 /// Event counters for one cache level.
@@ -82,6 +83,29 @@ impl CacheStats {
     /// Miss rate (0.0 over an empty run).
     pub fn miss_rate(&self) -> f64 {
         self.misses.rate_of(&self.accesses)
+    }
+
+    /// Serializes every counter value (names come from the constructor).
+    pub fn save_state(&self, w: &mut StateWriter) {
+        self.accesses.save_state(w);
+        self.hits.save_state(w);
+        self.misses.save_state(w);
+        self.store_accesses.save_state(w);
+        self.writebacks.save_state(w);
+    }
+
+    /// Restores counters written by [`save_state`](Self::save_state).
+    ///
+    /// # Errors
+    ///
+    /// Any decode error from the reader.
+    pub fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapError> {
+        self.accesses.load_state(r)?;
+        self.hits.load_state(r)?;
+        self.misses.load_state(r)?;
+        self.store_accesses.load_state(r)?;
+        self.writebacks.load_state(r)?;
+        Ok(())
     }
 }
 

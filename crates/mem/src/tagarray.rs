@@ -1,5 +1,7 @@
 //! Tag store with true-LRU replacement and dirty bits.
 
+use hbdc_snap::{SnapError, StateReader, StateWriter};
+
 use crate::geometry::CacheGeometry;
 
 #[derive(Debug, Clone, Copy, Default)]
@@ -156,6 +158,43 @@ impl TagArray {
     pub fn resident_lines(&self) -> usize {
         self.ways.iter().filter(|w| w.valid).count()
     }
+
+    /// Serializes every way (valid/dirty/tag/LRU) plus the LRU clock.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        w.put_usize(self.ways.len());
+        for way in &self.ways {
+            w.put_bool(way.valid);
+            w.put_bool(way.dirty);
+            w.put_u64(way.tag);
+            w.put_u64(way.lru);
+        }
+        w.put_u64(self.clock);
+    }
+
+    /// Restores ways written by [`save_state`](Self::save_state) into an
+    /// array built with the same geometry.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::Corrupt`] if the way count does not match this
+    /// geometry, or any decode error.
+    pub fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapError> {
+        let n = r.get_usize()?;
+        if n != self.ways.len() {
+            return Err(SnapError::Corrupt(format!(
+                "tag array has {} ways, snapshot carries {n}",
+                self.ways.len()
+            )));
+        }
+        for way in &mut self.ways {
+            way.valid = r.get_bool()?;
+            way.dirty = r.get_bool()?;
+            way.tag = r.get_u64()?;
+            way.lru = r.get_u64()?;
+        }
+        self.clock = r.get_u64()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -243,6 +282,23 @@ mod tests {
         t.fill(0x0000, false);
         t.fill(0x0020, false);
         assert_eq!(t.resident_lines(), 2);
+    }
+
+    #[test]
+    fn state_roundtrip_preserves_lru_and_dirty() {
+        let mut t = TagArray::new(CacheGeometry::new(128, 32, 2));
+        t.fill(0x000, true);
+        t.fill(0x040, false);
+        t.lookup(0x000, false); // refresh LRU of way A
+        let mut w = StateWriter::new();
+        t.save_state(&mut w);
+        let bytes = w.into_bytes();
+
+        let mut restored = TagArray::new(CacheGeometry::new(128, 32, 2));
+        restored.load_state(&mut StateReader::new(&bytes)).unwrap();
+        // Same fill now evicts the same victim in both arrays.
+        assert_eq!(restored.fill(0x080, false), t.fill(0x080, false));
+        assert_eq!(restored.resident_lines(), t.resident_lines());
     }
 
     #[test]

@@ -1,0 +1,81 @@
+//! Process-wide SIGINT latch for graceful campaign shutdown.
+//!
+//! Long matrix campaigns want Ctrl-C to mean "checkpoint what you're
+//! doing and flush the journal", not "die mid-write". [`install`] replaces
+//! the default SIGINT disposition with a handler that only sets an atomic
+//! flag; run loops poll [`requested`] at cycle-chunk boundaries and wind
+//! down cleanly.
+//!
+//! The handler is async-signal-safe by construction (one atomic store).
+//! On non-Unix targets [`install`] is a no-op and the latch can still be
+//! driven by [`trigger`], which is also how tests exercise the shutdown
+//! path without process-wide signals.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static REQUESTED: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod sys {
+    //! The one `unsafe` corner of the workspace: registering a SIGINT
+    //! handler through the C `signal` entry point that `std` already
+    //! links. Kept to a single call so every other crate can stay under
+    //! `#![forbid(unsafe_code)]`.
+
+    const SIGINT: i32 = 2;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_sigint(_signum: i32) {
+        super::REQUESTED.store(true, std::sync::atomic::Ordering::SeqCst);
+    }
+
+    pub(super) fn install() {
+        // SAFETY: `signal` is only handed an `extern "C"` function whose
+        // body is a single atomic store — async-signal-safe per POSIX.
+        unsafe {
+            signal(SIGINT, on_sigint as *const () as usize);
+        }
+    }
+}
+
+/// Installs the SIGINT latch. Idempotent; later installs are harmless.
+///
+/// After this call, Ctrl-C no longer kills the process — callers are
+/// responsible for polling [`requested`] and exiting.
+pub fn install() {
+    #[cfg(unix)]
+    sys::install();
+}
+
+/// Whether an interrupt has been requested since the last [`reset`].
+pub fn requested() -> bool {
+    REQUESTED.load(Ordering::SeqCst)
+}
+
+/// Sets the latch by hand — the test hook, and the non-Unix fallback.
+pub fn trigger() {
+    REQUESTED.store(true, Ordering::SeqCst);
+}
+
+/// Clears the latch (e.g. between journaled runs in one process).
+pub fn reset() {
+    REQUESTED.store(false, Ordering::SeqCst);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latch_sets_and_clears() {
+        reset();
+        assert!(!requested());
+        trigger();
+        assert!(requested());
+        reset();
+        assert!(!requested());
+    }
+}

@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use hbdc_snap::{SnapError, StateReader, StateWriter};
+
 /// A histogram over small non-negative integer samples with a fixed number
 /// of direct buckets and a single overflow bucket.
 ///
@@ -128,6 +130,44 @@ impl Histogram {
         // bucket as a floor.
         Some(self.buckets.len() - 1)
     }
+
+    /// Serializes the counts (the name and bucket range come from the
+    /// constructor and are not written).
+    pub fn save_state(&self, w: &mut StateWriter) {
+        w.put_usize(self.buckets.len());
+        for &b in &self.buckets {
+            w.put_u64(b);
+        }
+        w.put_u64(self.overflow);
+        w.put_u64(self.total);
+        w.put_u64(self.sum);
+    }
+
+    /// Restores counts written by [`save_state`](Self::save_state) into a
+    /// histogram constructed with the same bucket range.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::Corrupt`] if the serialized bucket count does not
+    /// match this histogram's range, or any decode error.
+    pub fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapError> {
+        let n = r.get_usize()?;
+        if n != self.buckets.len() {
+            return Err(SnapError::Corrupt(format!(
+                "histogram `{}`: {} serialized buckets, {} configured",
+                self.name,
+                n,
+                self.buckets.len()
+            )));
+        }
+        for b in &mut self.buckets {
+            *b = r.get_u64()?;
+        }
+        self.overflow = r.get_u64()?;
+        self.total = r.get_u64()?;
+        self.sum = r.get_u64()?;
+        Ok(())
+    }
 }
 
 impl fmt::Display for Histogram {
@@ -228,6 +268,34 @@ mod tests {
     #[should_panic(expected = "out of [0, 1]")]
     fn quantile_rejects_bad_q() {
         Histogram::new("h", 2).quantile(1.5);
+    }
+
+    #[test]
+    fn state_roundtrip_is_exact() {
+        let mut h = Histogram::new("h", 4);
+        for v in [0, 1, 1, 3, 99] {
+            h.record(v);
+        }
+        let mut w = StateWriter::new();
+        h.save_state(&mut w);
+        let bytes = w.into_bytes();
+
+        let mut restored = Histogram::new("h", 4);
+        restored.load_state(&mut StateReader::new(&bytes)).unwrap();
+        assert_eq!(restored, h);
+    }
+
+    #[test]
+    fn load_rejects_mismatched_range() {
+        let h = Histogram::new("h", 4);
+        let mut w = StateWriter::new();
+        h.save_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut wrong = Histogram::new("h", 8);
+        assert!(matches!(
+            wrong.load_state(&mut StateReader::new(&bytes)),
+            Err(SnapError::Corrupt(_))
+        ));
     }
 
     #[test]

@@ -18,4 +18,10 @@ cargo test --workspace -q
 echo "== cargo test --features audit (invariant auditor on)"
 cargo test -p hbdc-cpu -p hbdc-bench --features audit -q
 
+echo "== kill-and-resume integration test"
+scripts/resume_test.sh
+
+echo "== throughput regression guard (HBDC_SKIP_PERF=1 to skip)"
+scripts/perf_guard.sh
+
 echo "All checks passed."

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Throughput regression guard: re-measures simulator throughput with the
+# `throughput` bin and fails if cycles/sec drifts more than ±15% from
+# the checked-in baseline in BENCH_throughput.json.
+#
+# Set HBDC_SKIP_PERF=1 to skip (e.g. on a loaded or throttled host).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [ "${HBDC_SKIP_PERF:-0}" = "1" ]; then
+    echo "perf guard skipped (HBDC_SKIP_PERF=1)"
+    exit 0
+fi
+
+read_rate() {
+    grep -o '"cycles_per_sec": *[0-9]*' "$1" | grep -o '[0-9]*$'
+}
+
+baseline=$(read_rate BENCH_throughput.json)
+[ -n "$baseline" ] || { echo "FAIL: no cycles_per_sec in BENCH_throughput.json" >&2; exit 1; }
+
+cargo build --release -q -p hbdc-bench --bin throughput
+tmp="$(mktemp -d "${TMPDIR:-/tmp}/hbdc-perf.XXXXXX")"
+trap 'rm -rf "$tmp"' EXIT
+bin="$PWD/target/release/throughput"
+
+# The measurement is host-timing-sensitive; allow one retry before
+# declaring a regression so a single noisy run can't fail the gate.
+for attempt in 1 2; do
+    (cd "$tmp" && "$bin" --scale small >/dev/null)
+    rate=$(read_rate "$tmp/BENCH_throughput.json")
+    echo "measured $rate cycles/sec (baseline $baseline, attempt $attempt)"
+    if awk -v b="$baseline" -v n="$rate" \
+        'BEGIN { d = (n - b) / b; exit (d > 0.15 || d < -0.15) ? 1 : 0 }'; then
+        echo "perf guard passed: within ±15% of baseline"
+        exit 0
+    fi
+done
+
+echo "FAIL: throughput $rate cycles/sec is outside ±15% of baseline $baseline" >&2
+exit 1

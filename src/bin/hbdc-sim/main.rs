@@ -5,11 +5,18 @@
 //!              [--ruu N] [--lsq N] [--ls-units N] [--scale test|small|full]
 //!              [--frontend perfect|gshare|bimodal]
 //!              [--audit] [--max-cycles N] [--inject SEED]
+//!              [--checkpoint PATH [--every N]]
+//! hbdc-sim resume <snapshot> [--checkpoint PATH] [--every N]
 //! hbdc-sim asm <prog.s> -o <prog.hbo>        assemble to a binary object
 //! hbdc-sim disasm <prog.s|prog.hbo>          print assembler-compatible text
 //! hbdc-sim analyze <prog.s|bench:NAME>       stream locality + reuse report
 //! hbdc-sim bench-list                        list the SPEC95 analogs
 //! ```
+//!
+//! With `--checkpoint`, the run writes a crash-safe snapshot of the full
+//! simulator state every `--every` cycles (default 1 000 000) and on
+//! Ctrl-C, and `hbdc-sim resume <snapshot>` continues it bit-identically
+//! — the resumed run's report equals an uninterrupted one's.
 //!
 //! Port SPEC grammar: `ideal:4`, `repl:2`, `bank:8`, `bank:8:xor`,
 //! `bank:8:rand`, `lbic:4x2`, `lbic:4x2:sq=16`, `lbic:4x2:largest`.
@@ -17,6 +24,7 @@
 mod portspec;
 mod program_source;
 
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use hbdc::prelude::*;
@@ -28,7 +36,9 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  hbdc-sim run <prog.s|prog.hbo|bench:NAME> [--port SPEC] [--max-insts N]\n\
          \x20          [--ruu N] [--lsq N] [--ls-units N] [--scale test|small|full]\n\
-         \x20          [--audit] [--max-cycles N] [--inject SEED]\n  \
+         \x20          [--audit] [--max-cycles N] [--inject SEED]\n\
+         \x20          [--checkpoint PATH [--every N]]\n  \
+         hbdc-sim resume <snapshot> [--checkpoint PATH] [--every N]\n  \
          hbdc-sim asm <prog.s> -o <prog.hbo>\n  \
          hbdc-sim disasm <prog.s|prog.hbo>\n  \
          hbdc-sim analyze <prog.s|bench:NAME> [--banks N] [--scale ...]\n  \
@@ -93,6 +103,14 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         front_end,
         ..CpuConfig::default()
     };
+    let checkpoint = checkpoint_from_args(args)?;
+    if checkpoint.is_some() && inject_seed.is_some() {
+        return Err(
+            "--checkpoint cannot be combined with --inject (a fault-injected port model \
+             cannot be reconstructed from a snapshot)"
+                .into(),
+        );
+    }
     let hier_cfg = HierarchyConfig::default();
     let mut sim = match inject_seed {
         Some(seed) => {
@@ -101,9 +119,89 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         }
         None => Simulator::try_new(&program, cfg, hier_cfg, port).map_err(|e| e.to_string())?,
     };
-    let report = sim.run().map_err(|e| e.to_string())?;
+    let report = drive(&mut sim, checkpoint.as_ref())?;
     let (branches, mispredicts) = sim.branch_stats();
+    print_report(target, &report, branches, mispredicts);
+    Ok(())
+}
 
+/// Continues a checkpointed run from its snapshot file. By default the
+/// run keeps checkpointing to the same file; `--checkpoint` redirects it.
+fn cmd_resume(args: &[String]) -> Result<(), String> {
+    let target = args.first().ok_or("missing snapshot path")?;
+    let snapshot = SimSnapshot::read_from_path(Path::new(target)).map_err(|e| e.to_string())?;
+    let mut sim = Simulator::resume(&snapshot).map_err(|e| e.to_string())?;
+    eprintln!(
+        "hbdc-sim: resumed {} at cycle {} ({} committed)",
+        target,
+        sim.current_cycle(),
+        sim.committed()
+    );
+    let path = flag_value(args, "--checkpoint").unwrap_or_else(|| target.clone());
+    let every = checkpoint_every(args)?;
+    let report = drive(&mut sim, Some(&(PathBuf::from(path), every)))?;
+    let (branches, mispredicts) = sim.branch_stats();
+    print_report(target, &report, branches, mispredicts);
+    Ok(())
+}
+
+/// Parses `--checkpoint PATH [--every N]` from a `run` invocation.
+fn checkpoint_from_args(args: &[String]) -> Result<Option<(PathBuf, u64)>, String> {
+    match flag_value(args, "--checkpoint") {
+        Some(path) => Ok(Some((PathBuf::from(path), checkpoint_every(args)?))),
+        None => {
+            if args.iter().any(|a| a == "--every") {
+                return Err("--every needs --checkpoint PATH to write snapshots to".into());
+            }
+            Ok(None)
+        }
+    }
+}
+
+/// Parses the `--every N` checkpoint cadence (cycles; default 1 000 000).
+fn checkpoint_every(args: &[String]) -> Result<u64, String> {
+    let every = parse_num(args, "--every", 1_000_000)?;
+    if every == 0 {
+        return Err("--every must be a positive cycle count".into());
+    }
+    Ok(every)
+}
+
+/// Drives a simulation to completion. Without a checkpoint spec this is
+/// a plain run; with one, the run proceeds in `every`-cycle slices,
+/// writing a crash-safe snapshot after each slice, checkpointing and
+/// exiting with status 130 if Ctrl-C was pressed, and removing the
+/// now-stale snapshot once the run finishes.
+fn drive(sim: &mut Simulator, checkpoint: Option<&(PathBuf, u64)>) -> Result<SimReport, String> {
+    let Some((path, every)) = checkpoint else {
+        return sim.run().map_err(|e| e.to_string());
+    };
+    hbdc::snap::interrupt::install();
+    loop {
+        let done = sim.run_for(*every).map_err(|e| e.to_string())?;
+        if done {
+            let _ = std::fs::remove_file(path);
+            return Ok(sim.report());
+        }
+        sim.save_snapshot()
+            .write_to_path(path)
+            .map_err(|e| e.to_string())?;
+        if hbdc::snap::interrupt::requested() {
+            eprintln!(
+                "hbdc-sim: interrupted at cycle {} ({} committed); snapshot written to {}; \
+                 continue with `hbdc-sim resume {}`",
+                sim.current_cycle(),
+                sim.committed(),
+                path.display(),
+                path.display()
+            );
+            std::process::exit(130);
+        }
+    }
+}
+
+/// Prints the end-of-run report block shared by `run` and `resume`.
+fn print_report(target: &str, report: &SimReport, branches: u64, mispredicts: u64) {
     println!("program        {target}");
     println!("port model     {}", report.port_label);
     println!("committed      {}", report.committed);
@@ -138,7 +236,6 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             mispredicts as f64 / branches as f64 * 100.0
         );
     }
-    Ok(())
 }
 
 fn cmd_asm(args: &[String]) -> Result<(), String> {
@@ -254,6 +351,7 @@ fn main() -> ExitCode {
     let rest = &args[1..];
     let result = match command.as_str() {
         "run" => cmd_run(rest),
+        "resume" => cmd_resume(rest),
         "asm" => cmd_asm(rest),
         "disasm" => cmd_disasm(rest),
         "analyze" => cmd_analyze(rest),

@@ -45,6 +45,7 @@
 //! | [`trace`] | `hbdc-trace` | Figure-3 analysis, conflict stats, stream generators |
 //! | [`workloads`] | `hbdc-workloads` | the ten SPEC95 benchmark analogs |
 //! | [`stats`] | `hbdc-stats` | counters, histograms, tables |
+//! | [`snap`] | `hbdc-snap` | checkpoint codec, sealed containers, SIGINT latch |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -53,6 +54,7 @@ pub use hbdc_core as core;
 pub use hbdc_cpu as cpu;
 pub use hbdc_isa as isa;
 pub use hbdc_mem as mem;
+pub use hbdc_snap as snap;
 pub use hbdc_stats as stats;
 pub use hbdc_trace as trace;
 pub use hbdc_workloads as workloads;
@@ -72,7 +74,7 @@ pub mod prelude {
     pub use hbdc_core::{
         CombinePolicy, FaultClass, FaultInjector, MemRequest, PortConfig, PortModel, Violation,
     };
-    pub use hbdc_cpu::{CpuConfig, Emulator, SimError, SimReport, Simulator};
+    pub use hbdc_cpu::{CpuConfig, Emulator, SimError, SimReport, SimSnapshot, Simulator};
     pub use hbdc_isa::asm::assemble;
     pub use hbdc_isa::Program;
     pub use hbdc_mem::{BankMapper, BankSelect, CacheGeometry, Hierarchy, HierarchyConfig};
