@@ -1,0 +1,170 @@
+//! Command-line parsing shared by every experiment binary.
+//!
+//! All flag handling funnels through one argv scanner
+//! ([`flag_value`]/[`flag_present`]) so the binaries cannot drift apart
+//! in how they locate flags, and each flag's validation (and its exact
+//! error message) lives in exactly one place. The helpers are
+//! re-exported from [`crate::runner`], which is where the binaries
+//! import them.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use crate::runner::MatrixOpts;
+use hbdc_workloads::{Benchmark, Scale};
+
+/// The argument following `flag` on the command line. Outer `None`: the
+/// flag is absent. Inner `None`: the flag is the last argument, with no
+/// value after it (callers report their own usage errors).
+fn flag_value(flag: &str) -> Option<Option<String>> {
+    let args: Vec<String> = std::env::args().collect();
+    let i = args.iter().position(|a| a == flag)?;
+    Some(args.get(i + 1).cloned())
+}
+
+/// Whether a bare `flag` appears on the command line.
+fn flag_present(flag: &str) -> bool {
+    std::env::args().any(|a| a == flag)
+}
+
+/// Reports a command-line usage problem and exits with status 2 (the
+/// conventional usage-error code), without the panic machinery's
+/// backtrace noise.
+pub(crate) fn usage_bail(msg: &str) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(2);
+}
+
+/// Parses a `--scale` CLI value.
+///
+/// # Errors
+///
+/// Returns the offending string if it is not `test`, `small`, or `full`.
+pub fn parse_scale(s: &str) -> Result<Scale, String> {
+    match s {
+        "test" => Ok(Scale::Test),
+        "small" => Ok(Scale::Small),
+        "full" => Ok(Scale::Full),
+        other => Err(format!("unknown scale `{other}` (use test|small|full)")),
+    }
+}
+
+/// The canonical CLI name of a [`Scale`] — the inverse of [`parse_scale`].
+pub fn scale_label(scale: Scale) -> &'static str {
+    match scale {
+        Scale::Test => "test",
+        Scale::Small => "small",
+        Scale::Full => "full",
+    }
+}
+
+/// Reads the scale from `argv` (`--scale <value>`), defaulting to `full`.
+/// Prints a usage message and exits with status 2 on an invalid value.
+pub fn scale_from_args() -> Scale {
+    scale_from_args_or(Scale::Full)
+}
+
+/// Reads the scale from `argv` (`--scale <value>`), with an explicit
+/// default for binaries whose natural scale is not `full`. Prints a
+/// usage message and exits with status 2 on an invalid value.
+pub fn scale_from_args_or(default: Scale) -> Scale {
+    match flag_value("--scale") {
+        Some(v) => {
+            let v = v.as_deref().unwrap_or("");
+            parse_scale(v).unwrap_or_else(|e| usage_bail(&format!("--scale: {e}")))
+        }
+        None => default,
+    }
+}
+
+/// Reads a worker-thread count from `argv` (`--threads <N>`); `None`
+/// means "use every available core". Prints a usage message and exits
+/// with status 2 on a non-numeric or zero value.
+pub fn threads_from_args() -> Option<usize> {
+    let v = flag_value("--threads")?;
+    let v = v.as_deref().unwrap_or("");
+    match v.parse::<usize>() {
+        Ok(n) if n > 0 => Some(n),
+        _ => usage_bail(&format!("--threads needs a positive integer, got `{v}`")),
+    }
+}
+
+/// Whether `--csv` was passed (binaries then print a CSV block after the
+/// human-readable table).
+pub fn csv_from_args() -> bool {
+    flag_present("--csv")
+}
+
+/// Which benchmarks to run: all, or a `--bench <name>` subset.
+pub fn benches_from_args() -> Vec<Benchmark> {
+    match flag_value("--bench") {
+        Some(v) => {
+            let name = v.as_deref().unwrap_or("");
+            match hbdc_workloads::by_name(name) {
+                Some(b) => vec![b],
+                None => {
+                    let valid: Vec<&str> =
+                        hbdc_workloads::all().iter().map(Benchmark::name).collect();
+                    usage_bail(&format!(
+                        "--bench: unknown benchmark `{name}` (valid: {})",
+                        valid.join(", ")
+                    ))
+                }
+            }
+        }
+        None => hbdc_workloads::all(),
+    }
+}
+
+/// Reads the campaign options from `argv`: `--journal <path>`,
+/// `--resume <path>` (sets the journal path *and* resume mode), and
+/// `--timeout-secs <N>`. Prints a usage message naming the offending
+/// flag and exits with status 2 on a malformed value.
+pub fn matrix_opts_from_args() -> MatrixOpts {
+    let mut opts = MatrixOpts::default();
+    if let Some(v) = flag_value("--journal") {
+        match v {
+            Some(p) if !p.starts_with("--") => opts.journal = Some(PathBuf::from(p)),
+            _ => usage_bail("--journal needs a file path, e.g. `--journal table3.journal`"),
+        }
+    }
+    if let Some(v) = flag_value("--resume") {
+        match v {
+            Some(p) if !p.starts_with("--") => {
+                opts.journal = Some(PathBuf::from(p));
+                opts.resume = true;
+            }
+            _ => usage_bail("--resume needs the journal path of the interrupted run"),
+        }
+    }
+    if let Some(v) = flag_value("--timeout-secs") {
+        let v = v.as_deref().unwrap_or("");
+        match v.parse::<u64>() {
+            Ok(n) if n > 0 => opts.timeout = Some(Duration::from_secs(n)),
+            _ => usage_bail(&format!(
+                "--timeout-secs needs a positive whole number of seconds, got `{v}`"
+            )),
+        }
+    }
+    opts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_scale_values() {
+        assert_eq!(parse_scale("test").unwrap(), Scale::Test);
+        assert_eq!(parse_scale("small").unwrap(), Scale::Small);
+        assert_eq!(parse_scale("full").unwrap(), Scale::Full);
+        assert!(parse_scale("huge").is_err());
+    }
+
+    #[test]
+    fn scale_labels_invert_parsing() {
+        for s in [Scale::Test, Scale::Small, Scale::Full] {
+            assert_eq!(parse_scale(scale_label(s)).unwrap(), s);
+        }
+    }
+}

@@ -54,69 +54,13 @@ pub fn sim_ok(result: Result<SimReport, SimError>) -> SimReport {
     })
 }
 
-/// Parses a `--scale` CLI value.
-///
-/// # Errors
-///
-/// Returns the offending string if it is not `test`, `small`, or `full`.
-pub fn parse_scale(s: &str) -> Result<Scale, String> {
-    match s {
-        "test" => Ok(Scale::Test),
-        "small" => Ok(Scale::Small),
-        "full" => Ok(Scale::Full),
-        other => Err(format!("unknown scale `{other}` (use test|small|full)")),
-    }
-}
-
-/// The canonical CLI name of a [`Scale`] — the inverse of [`parse_scale`].
-pub fn scale_label(scale: Scale) -> &'static str {
-    match scale {
-        Scale::Test => "test",
-        Scale::Small => "small",
-        Scale::Full => "full",
-    }
-}
-
-/// Reports a command-line usage problem and exits with status 2 (the
-/// conventional usage-error code), without the panic machinery's
-/// backtrace noise.
-fn usage_bail(msg: &str) -> ! {
-    eprintln!("{msg}");
-    std::process::exit(2);
-}
-
-/// Reads the scale from `argv` (`--scale <value>`), defaulting to `full`.
-/// Prints a usage message and exits with status 2 on an invalid value.
-pub fn scale_from_args() -> Scale {
-    scale_from_args_or(Scale::Full)
-}
-
-/// Reads the scale from `argv` (`--scale <value>`), with an explicit
-/// default for binaries whose natural scale is not `full`. Prints a
-/// usage message and exits with status 2 on an invalid value.
-pub fn scale_from_args_or(default: Scale) -> Scale {
-    let args: Vec<String> = std::env::args().collect();
-    match args.iter().position(|a| a == "--scale") {
-        Some(i) => {
-            let v = args.get(i + 1).map(String::as_str).unwrap_or("");
-            parse_scale(v).unwrap_or_else(|e| usage_bail(&format!("--scale: {e}")))
-        }
-        None => default,
-    }
-}
-
-/// Reads a worker-thread count from `argv` (`--threads <N>`); `None`
-/// means "use every available core". Prints a usage message and exits
-/// with status 2 on a non-numeric or zero value.
-pub fn threads_from_args() -> Option<usize> {
-    let args: Vec<String> = std::env::args().collect();
-    let i = args.iter().position(|a| a == "--threads")?;
-    let v = args.get(i + 1).map(String::as_str).unwrap_or("");
-    match v.parse::<usize>() {
-        Ok(n) if n > 0 => Some(n),
-        _ => usage_bail(&format!("--threads needs a positive integer, got `{v}`")),
-    }
-}
+// CLI parsing lives in [`crate::args`] (one shared argv scanner);
+// re-exported here because the binaries import it from the runner.
+pub(crate) use crate::args::usage_bail;
+pub use crate::args::{
+    benches_from_args, csv_from_args, matrix_opts_from_args, parse_scale, scale_from_args,
+    scale_from_args_or, scale_label, threads_from_args,
+};
 
 /// Accumulates per-suite IPC rows and produces the paper's "SPECint Ave."
 /// and "SPECfp Ave." rows.
@@ -354,40 +298,6 @@ pub struct MatrixOpts {
     /// checkpointed in-flight cells resume bit-identically from their
     /// snapshots.
     pub resume: bool,
-}
-
-/// Reads the campaign options from `argv`: `--journal <path>`,
-/// `--resume <path>` (sets the journal path *and* resume mode), and
-/// `--timeout-secs <N>`. Prints a usage message naming the offending
-/// flag and exits with status 2 on a malformed value.
-pub fn matrix_opts_from_args() -> MatrixOpts {
-    let args: Vec<String> = std::env::args().collect();
-    let mut opts = MatrixOpts::default();
-    if let Some(i) = args.iter().position(|a| a == "--journal") {
-        match args.get(i + 1) {
-            Some(p) if !p.starts_with("--") => opts.journal = Some(PathBuf::from(p)),
-            _ => usage_bail("--journal needs a file path, e.g. `--journal table3.journal`"),
-        }
-    }
-    if let Some(i) = args.iter().position(|a| a == "--resume") {
-        match args.get(i + 1) {
-            Some(p) if !p.starts_with("--") => {
-                opts.journal = Some(PathBuf::from(p));
-                opts.resume = true;
-            }
-            _ => usage_bail("--resume needs the journal path of the interrupted run"),
-        }
-    }
-    if let Some(i) = args.iter().position(|a| a == "--timeout-secs") {
-        let v = args.get(i + 1).map(String::as_str).unwrap_or("");
-        match v.parse::<u64>() {
-            Ok(n) if n > 0 => opts.timeout = Some(Duration::from_secs(n)),
-            _ => usage_bail(&format!(
-                "--timeout-secs needs a positive whole number of seconds, got `{v}`"
-            )),
-        }
-    }
-    opts
 }
 
 /// First line of every matrix run journal.
@@ -908,12 +818,6 @@ impl SpeedTally {
     }
 }
 
-/// Whether `--csv` was passed (binaries then print a CSV block after the
-/// human-readable table).
-pub fn csv_from_args() -> bool {
-    std::env::args().any(|a| a == "--csv")
-}
-
 /// The port-model columns of the paper's Table 3: the single-ported
 /// baseline ("~"), then True/Repl/Bank at 2, 4, 8, and 16 ports.
 pub fn table3_columns() -> Vec<(String, PortConfig)> {
@@ -934,40 +838,10 @@ pub fn table4_columns() -> Vec<(String, PortConfig)> {
         .collect()
 }
 
-/// Which benchmarks to run: all, or a `--bench <name>` subset.
-pub fn benches_from_args() -> Vec<Benchmark> {
-    let args: Vec<String> = std::env::args().collect();
-    match args.iter().position(|a| a == "--bench") {
-        Some(i) => {
-            let name = args.get(i + 1).map(String::as_str).unwrap_or("");
-            match hbdc_workloads::by_name(name) {
-                Some(b) => vec![b],
-                None => {
-                    let valid: Vec<&str> =
-                        hbdc_workloads::all().iter().map(Benchmark::name).collect();
-                    usage_bail(&format!(
-                        "--bench: unknown benchmark `{name}` (valid: {})",
-                        valid.join(", ")
-                    ))
-                }
-            }
-        }
-        None => hbdc_workloads::all(),
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use hbdc_workloads::by_name;
-
-    #[test]
-    fn parse_scale_values() {
-        assert_eq!(parse_scale("test").unwrap(), Scale::Test);
-        assert_eq!(parse_scale("small").unwrap(), Scale::Small);
-        assert_eq!(parse_scale("full").unwrap(), Scale::Full);
-        assert!(parse_scale("huge").is_err());
-    }
 
     #[test]
     fn table3_has_thirteen_columns() {

@@ -29,8 +29,10 @@ fn golden(port_label: &str) -> SimReport {
         combined: 0,
         store_serializations: 0,
         port_label: port_label.into(),
+        skipped_cycles: 0,
         wall_secs: 0.0,
         cycles_per_sec: 0.0,
+        events_per_sec: 0.0,
     };
     match port_label {
         "True-4" => SimReport {

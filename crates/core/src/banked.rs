@@ -89,6 +89,16 @@ impl PortModel for BankedPorts {
         self.stats.record_tick();
     }
 
+    // `taken` is per-round scratch, so an idle cycle only advances the
+    // cycle counter and skipped spans can be accounted in bulk.
+    fn next_event(&self, _now: u64) -> Option<u64> {
+        None
+    }
+
+    fn skip_idle(&mut self, k: u64) {
+        self.stats.record_ticks(k);
+    }
+
     fn peak_per_cycle(&self) -> usize {
         self.mapper.banks() as usize
     }

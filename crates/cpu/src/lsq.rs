@@ -1,7 +1,18 @@
 //! The load/store queue: memory ordering, forwarding, and the per-cycle
 //! ready list.
+//!
+//! The classification is *event-driven*: instead of rescanning every
+//! entry every cycle (O(occupancy) per cycle — the old hot-loop cost),
+//! each entry's readiness is updated when one of its gating conditions
+//! changes. Every gate is monotone for a given entry — an address, once
+//! known, stays known; prior stores resolve and never un-resolve; a
+//! blocking store only leaves the queue once — so each entry makes O(1)
+//! classification transitions over its lifetime, and the per-cycle cost
+//! of [`collect_ready_into`](Lsq::collect_ready_into) is the size of the
+//! ready list plus the transitions that actually happened. Simulation
+//! time scales with work, not with queue occupancy.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 
 use hbdc_snap::{SnapError, StateReader, StateWriter};
 
@@ -51,9 +62,7 @@ struct LsqEntry {
     /// Loads: sequence number of the youngest older store whose bytes
     /// overlap this load (`NOT_MEM` if none). Addresses are oracle values
     /// fixed at dispatch and older stores retire strictly before this
-    /// entry, so the decider never changes while it is in the queue —
-    /// precomputing it turns the per-cycle backward overlap scan into an
-    /// O(1) lookup.
+    /// entry, so the decider never changes while it is in the queue.
     dep_store: u64,
     /// Loads: whether `dep_store` covers this load exactly (same address,
     /// width fits), i.e. forwarding applies once the store's data is
@@ -65,6 +74,20 @@ struct LsqEntry {
 /// Sentinel in `Lsq::pos_map` for sequence numbers that never entered the
 /// queue (non-memory instructions).
 const NOT_MEM: u64 = u64::MAX;
+
+/// Granularity of the store-overlap index: live stores are bucketed by
+/// the 8-byte blocks they touch, so a dispatching load finds its youngest
+/// overlapping store with one or two bucket probes instead of a backward
+/// scan over the whole queue. Accesses are at most 8 bytes wide, so a
+/// reference touches at most two blocks.
+const BLOCK_SHIFT: u32 = 3;
+
+/// The (first, optional second) index blocks a byte range touches.
+fn blocks_of(addr: u64, width: u64) -> (u64, Option<u64>) {
+    let a = addr >> BLOCK_SHIFT;
+    let b = (addr + width.max(1) - 1) >> BLOCK_SHIFT;
+    (a, (b != a).then_some(b))
+}
 
 /// The load/store queue (paper Table 1: 512 entries): an address reorder
 /// buffer holding all in-flight memory instructions in program order.
@@ -109,6 +132,44 @@ pub struct Lsq {
     pos_map: VecDeque<u64>,
     dispatched: u64,
     retired: u64,
+
+    // ----- Derived classification state (event-maintained; never
+    // serialized — rebuilt from the entries on snapshot load). -----
+    //
+    // The persistent ready list, in age order: exactly what the next
+    // `collect_ready_into` call reports as `cache`, kept current by the
+    // mark_*/retire event handlers.
+    ready: Vec<CacheReady>,
+    // Loads that became forwardable since the last collect; drained once
+    // (the simulator services a reported forward in the same cycle).
+    pending_forwards: Vec<u64>,
+    // Stores whose address is still unknown, in age order (dispatch
+    // appends, so the deque stays sorted). The front is the boundary:
+    // loads younger than it are blocked on a prior store address.
+    unknown_stores: VecDeque<u64>,
+    // Stores with address and data known, awaiting the completion
+    // frontier; age-sorted. `collect_ready_into` drains the prefix that
+    // the (monotone) frontier has passed into `ready`.
+    eligible_stores: Vec<u64>,
+    // Loads with known addresses blocked behind `unknown_stores.front()`,
+    // age-sorted; a boundary advance drains the newly unblocked prefix.
+    blocked_prior: Vec<u64>,
+    // Loads blocked on their decider store, as (store seq, load seq)
+    // pairs sorted by store: the store's data arrival forwards the
+    // exact-fit waiters, its retirement releases the rest.
+    dep_waiters: Vec<(u64, u64)>,
+    // Current census of blocked (non-issued) loads by category — the
+    // per-cycle stall increments, added in O(1) per collect.
+    n_addr_unknown: u64,
+    n_prior_store: u64,
+    n_overlap: u64,
+    // Live stores bucketed by touched 8-byte block, each bucket in age
+    // order; buckets recycle through `block_pool` so the steady state
+    // allocates nothing.
+    block_stores: HashMap<u64, Vec<u64>>,
+    block_pool: Vec<Vec<u64>>,
+    // Reusable scratch for event handlers that drain-and-reclassify.
+    scratch: Vec<u64>,
 }
 
 impl Lsq {
@@ -128,6 +189,18 @@ impl Lsq {
             pos_map: VecDeque::new(),
             dispatched: 0,
             retired: 0,
+            ready: Vec::new(),
+            pending_forwards: Vec::new(),
+            unknown_stores: VecDeque::new(),
+            eligible_stores: Vec::new(),
+            blocked_prior: Vec::new(),
+            dep_waiters: Vec::new(),
+            n_addr_unknown: 0,
+            n_prior_store: 0,
+            n_overlap: 0,
+            block_stores: HashMap::new(),
+            block_pool: Vec::new(),
+            scratch: Vec::new(),
         }
     }
 
@@ -156,6 +229,16 @@ impl Lsq {
         self.stalls
     }
 
+    /// Accounts for `k` idle cycles whose ready-list scans each produce
+    /// the stall increments in `per_cycle`. During a skipped span the
+    /// queue is frozen, so every scan would classify entries identically;
+    /// this replays those `k` identical scans' counter effects in O(1).
+    pub fn add_stalls_n(&mut self, per_cycle: LsqStalls, k: u64) {
+        self.stalls.addr_unknown += per_cycle.addr_unknown * k;
+        self.stalls.prior_store_addr += per_cycle.prior_store_addr * k;
+        self.stalls.store_overlap += per_cycle.store_overlap * k;
+    }
+
     fn find(&self, seq: u64) -> usize {
         let ordinal = self
             .pos_map
@@ -164,6 +247,101 @@ impl Lsq {
             .filter(|&o| o != NOT_MEM)
             .expect("seq not in LSQ");
         (ordinal - self.retired) as usize
+    }
+
+    fn block_index_add(&mut self, block: u64, seq: u64) {
+        use std::collections::hash_map::Entry;
+        match self.block_stores.entry(block) {
+            Entry::Occupied(mut o) => o.get_mut().push(seq),
+            Entry::Vacant(v) => {
+                let mut bucket = self.block_pool.pop().unwrap_or_default();
+                bucket.push(seq);
+                v.insert(bucket);
+            }
+        }
+    }
+
+    fn block_index_remove(&mut self, block: u64, seq: u64) {
+        use std::collections::hash_map::Entry;
+        let Entry::Occupied(mut o) = self.block_stores.entry(block) else {
+            debug_assert!(false, "store {seq} missing from block index");
+            return;
+        };
+        let bucket = o.get_mut();
+        match bucket.iter().position(|&s| s == seq) {
+            // Stores retire oldest-first, so the hit is normally index 0.
+            Some(p) => {
+                bucket.remove(p);
+            }
+            None => debug_assert!(false, "store {seq} missing from bucket"),
+        }
+        if bucket.is_empty() {
+            self.block_pool.push(o.remove());
+        }
+    }
+
+    /// The youngest live store in `block`'s bucket whose bytes overlap
+    /// `[addr, addr + width)`, or `NOT_MEM`.
+    fn youngest_overlap(&self, block: u64, addr: u64, width: u64) -> u64 {
+        let Some(bucket) = self.block_stores.get(&block) else {
+            return NOT_MEM;
+        };
+        for &s_seq in bucket.iter().rev() {
+            let s = &self.entries[self.find(s_seq)];
+            if addr < s.addr + s.width && s.addr < addr + width {
+                return s_seq;
+            }
+        }
+        NOT_MEM
+    }
+
+    fn ready_insert(&mut self, c: CacheReady) {
+        let k = self.ready.partition_point(|r| r.seq < c.seq);
+        debug_assert!(self.ready.get(k).map(|r| r.seq) != Some(c.seq));
+        self.ready.insert(k, c);
+    }
+
+    fn ready_remove(&mut self, seq: u64) -> bool {
+        let k = self.ready.partition_point(|r| r.seq < seq);
+        if self.ready.get(k).map(|r| r.seq) == Some(seq) {
+            self.ready.remove(k);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eligible_insert(&mut self, seq: u64) {
+        let k = self.eligible_stores.partition_point(|&s| s < seq);
+        self.eligible_stores.insert(k, seq);
+    }
+
+    /// Classifies a load whose address is known and whose prior store
+    /// addresses are all resolved: forward, wait on the decider store, or
+    /// join the ready list.
+    fn dep_check(&mut self, load: u64) {
+        let i = self.find(load);
+        let (dep, exact, addr) = {
+            let e = &self.entries[i];
+            debug_assert!(!e.is_store && e.addr_known && !e.issued);
+            (e.dep_store, e.exact_fit, e.addr)
+        };
+        if dep != NOT_MEM && dep >= self.pos_base {
+            let s = &self.entries[self.find(dep)];
+            if exact && s.data_known {
+                self.pending_forwards.push(load);
+            } else {
+                let k = self.dep_waiters.partition_point(|&p| p < (dep, load));
+                self.dep_waiters.insert(k, (dep, load));
+                self.n_overlap += 1;
+            }
+        } else {
+            self.ready_insert(CacheReady {
+                seq: load,
+                addr,
+                is_store: false,
+            });
+        }
     }
 
     /// Appends a memory instruction in program order. The effective
@@ -189,18 +367,29 @@ impl Lsq {
         self.dispatched += 1;
         let mut dep_store = NOT_MEM;
         let mut exact_fit = false;
-        if !is_store {
-            for s in self.entries.iter().rev() {
-                if !s.is_store {
-                    continue;
-                }
-                let overlap = addr < s.addr + s.width && s.addr < addr + width;
-                if overlap {
-                    dep_store = s.seq;
-                    exact_fit = s.addr == addr && width <= s.width;
-                    break; // youngest overlapping store decides
+        let (a, b) = blocks_of(addr, width);
+        if is_store {
+            // Dispatch is in age order, so appends keep these sorted.
+            self.unknown_stores.push_back(seq);
+            self.block_index_add(a, seq);
+            if let Some(b) = b {
+                self.block_index_add(b, seq);
+            }
+        } else {
+            // Youngest overlapping older store, via the block index; with
+            // two touched blocks the younger of the two hits decides.
+            dep_store = self.youngest_overlap(a, addr, width);
+            if let Some(b) = b {
+                let d2 = self.youngest_overlap(b, addr, width);
+                if d2 != NOT_MEM && (dep_store == NOT_MEM || d2 > dep_store) {
+                    dep_store = d2;
                 }
             }
+            if dep_store != NOT_MEM {
+                let s = &self.entries[self.find(dep_store)];
+                exact_fit = s.addr == addr && width <= s.width;
+            }
+            self.n_addr_unknown += 1; // loads dispatch with address unknown
         }
         self.entries.push_back(LsqEntry {
             seq,
@@ -218,20 +407,90 @@ impl Lsq {
     /// Records that `seq`'s effective address has been computed.
     pub fn mark_addr_known(&mut self, seq: u64) {
         let i = self.find(seq);
+        if self.entries[i].addr_known {
+            return;
+        }
         self.entries[i].addr_known = true;
+        if self.entries[i].is_store {
+            let eligible = self.entries[i].data_known && !self.entries[i].issued;
+            let was_front = self.unknown_stores.front() == Some(&seq);
+            if was_front {
+                self.unknown_stores.pop_front();
+            } else {
+                let k = self.unknown_stores.partition_point(|&s| s < seq);
+                debug_assert_eq!(self.unknown_stores.get(k), Some(&seq));
+                self.unknown_stores.remove(k);
+            }
+            if eligible {
+                self.eligible_insert(seq);
+            }
+            if was_front {
+                // The prior-store boundary advanced: loads older than the
+                // new boundary are no longer blocked on store addresses.
+                let boundary = self.unknown_stores.front().copied().unwrap_or(u64::MAX);
+                let k = self.blocked_prior.partition_point(|&l| l < boundary);
+                if k > 0 {
+                    self.n_prior_store -= k as u64;
+                    let mut tmp = std::mem::take(&mut self.scratch);
+                    tmp.extend(self.blocked_prior.drain(..k));
+                    for &load in &tmp {
+                        self.dep_check(load);
+                    }
+                    tmp.clear();
+                    self.scratch = tmp;
+                }
+            }
+        } else {
+            self.n_addr_unknown -= 1;
+            let boundary = self.unknown_stores.front().copied().unwrap_or(u64::MAX);
+            if boundary < seq {
+                let k = self.blocked_prior.partition_point(|&l| l < seq);
+                self.blocked_prior.insert(k, seq);
+                self.n_prior_store += 1;
+            } else {
+                self.dep_check(seq);
+            }
+        }
     }
 
     /// Records that a store's data operand has been produced.
     pub fn mark_data_known(&mut self, seq: u64) {
         let i = self.find(seq);
         debug_assert!(self.entries[i].is_store);
+        if self.entries[i].data_known {
+            return;
+        }
         self.entries[i].data_known = true;
+        if self.entries[i].addr_known && !self.entries[i].issued {
+            self.eligible_insert(seq);
+        }
+        // Exact-fit waiters on this store can forward now; partial
+        // overlaps keep waiting for it to leave the queue.
+        let lo = self.dep_waiters.partition_point(|&(s, _)| s < seq);
+        let mut hi = self.dep_waiters.partition_point(|&(s, _)| s <= seq);
+        let mut k = lo;
+        while k < hi {
+            let (_, load) = self.dep_waiters[k];
+            if self.entries[self.find(load)].exact_fit {
+                self.dep_waiters.remove(k);
+                hi -= 1;
+                self.n_overlap -= 1;
+                self.pending_forwards.push(load);
+            } else {
+                k += 1;
+            }
+        }
     }
 
     /// Records that `seq` has been granted its cache access.
     pub fn mark_issued(&mut self, seq: u64) {
         let i = self.find(seq);
+        if self.entries[i].issued {
+            return;
+        }
         self.entries[i].issued = true;
+        let removed = self.ready_remove(seq);
+        debug_assert!(removed, "issued entry {seq} was not ready");
     }
 
     /// Records that a load was serviced by forwarding (also counts it).
@@ -240,6 +499,9 @@ impl Lsq {
         debug_assert!(!self.entries[i].is_store);
         self.entries[i].issued = true;
         self.forwards += 1;
+        // Normally a no-op: a forwarded load was never cache-ready. Kept
+        // for callers that force a forward on a ready load.
+        self.ready_remove(seq);
     }
 
     /// Removes the front entry, which must be `seq` (called at commit).
@@ -254,73 +516,127 @@ impl Lsq {
         self.pos_map.drain(..covered);
         self.pos_base = seq + 1;
         self.retired += 1;
+        if front.is_store {
+            let (a, b) = blocks_of(front.addr, front.width);
+            self.block_index_remove(a, seq);
+            if let Some(b) = b {
+                self.block_index_remove(b, seq);
+            }
+            if front.addr_known {
+                // An unissued store may still sit in the eligibility or
+                // ready queues (only possible when a caller retires it
+                // without issuing — never on the committed path).
+                if !front.issued && front.data_known {
+                    let k = self.eligible_stores.partition_point(|&s| s < seq);
+                    if self.eligible_stores.get(k) == Some(&seq) {
+                        self.eligible_stores.remove(k);
+                    } else {
+                        self.ready_remove(seq);
+                    }
+                }
+            } else {
+                // The oldest store: if its address never resolved it is
+                // the unknown-address front, and its departure advances
+                // the prior-store boundary.
+                debug_assert_eq!(self.unknown_stores.front(), Some(&seq));
+                self.unknown_stores.pop_front();
+                let boundary = self.unknown_stores.front().copied().unwrap_or(u64::MAX);
+                let k = self.blocked_prior.partition_point(|&l| l < boundary);
+                if k > 0 {
+                    self.n_prior_store -= k as u64;
+                    let mut tmp = std::mem::take(&mut self.scratch);
+                    tmp.extend(self.blocked_prior.drain(..k));
+                    for &load in &tmp {
+                        self.dep_check(load);
+                    }
+                    tmp.clear();
+                    self.scratch = tmp;
+                }
+            }
+            // Loads that waited for this store to leave the queue are
+            // clear: their address is known, the boundary is past them,
+            // and their decider is gone — straight to the ready list.
+            let lo = self.dep_waiters.partition_point(|&(s, _)| s < seq);
+            let hi = self.dep_waiters.partition_point(|&(s, _)| s <= seq);
+            if lo < hi {
+                self.n_overlap -= (hi - lo) as u64;
+                let mut tmp = std::mem::take(&mut self.scratch);
+                tmp.extend(self.dep_waiters.drain(lo..hi).map(|(_, l)| l));
+                for &load in &tmp {
+                    let addr = self.entries[self.find(load)].addr;
+                    self.ready_insert(CacheReady {
+                        seq: load,
+                        addr,
+                        is_store: false,
+                    });
+                }
+                tmp.clear();
+                self.scratch = tmp;
+            }
+        } else if !front.issued {
+            // An unserviced load leaves whichever category held it (only
+            // possible when a caller retires it without issuing).
+            if !front.addr_known {
+                self.n_addr_unknown -= 1;
+            } else {
+                let k = self.blocked_prior.partition_point(|&l| l < seq);
+                if self.blocked_prior.get(k) == Some(&seq) {
+                    self.blocked_prior.remove(k);
+                    self.n_prior_store -= 1;
+                } else if let Some(p) = self
+                    .dep_waiters
+                    .iter()
+                    .position(|&w| w == (front.dep_store, seq))
+                {
+                    self.dep_waiters.remove(p);
+                    self.n_overlap -= 1;
+                } else if let Some(p) = self.pending_forwards.iter().position(|&l| l == seq) {
+                    self.pending_forwards.remove(p);
+                } else {
+                    self.ready_remove(seq);
+                }
+            }
+        }
     }
 
-    /// Classifies entries into this cycle's ready sets, writing them into
-    /// the caller-owned `out` (cleared first) so the per-cycle scan
-    /// allocates nothing once the buffers have warmed up.
+    /// Reports this cycle's ready sets into the caller-owned `out`
+    /// (cleared first): the event-maintained ready list, plus any stores
+    /// the completion frontier has newly passed, plus the loads that
+    /// became forwardable since the last call. O(ready + transitions),
+    /// not O(occupancy). Also accrues this cycle's stall counters from
+    /// the maintained blocked-load census.
     ///
     /// `oldest_not_done` is the RUU's completion frontier: stores older
     /// than it (i.e. with every older instruction complete) may perform
-    /// their commit-time cache access.
+    /// their commit-time cache access. The frontier must be monotone
+    /// across calls (it is: the RUU's Done prefix only grows).
     pub fn collect_ready_into(&mut self, oldest_not_done: u64, out: &mut ReadyRefs) {
-        out.cache.clear();
-        out.forwards.clear();
-        let mut prior_stores_known = true;
-
-        for e in &self.entries {
-            if e.is_store {
-                if e.addr_known && e.data_known && !e.issued && e.seq < oldest_not_done {
-                    out.cache.push(CacheReady {
-                        seq: e.seq,
-                        addr: e.addr,
-                        is_store: true,
-                    });
-                }
-                prior_stores_known &= e.addr_known;
-                continue;
-            }
-            // Loads.
-            if e.issued {
-                continue;
-            }
-            if !e.addr_known {
-                self.stalls.addr_unknown += 1;
-                continue;
-            }
-            if !prior_stores_known {
-                self.stalls.prior_store_addr += 1;
-                continue;
-            }
-            // The youngest overlapping older store was identified at
-            // dispatch; once it retires, every older overlapping store has
-            // retired too (commit is in order), so the load is clear.
-            let mut blocked = false;
-            let mut forward = false;
-            if e.dep_store != NOT_MEM && e.dep_store >= self.pos_base {
-                let s = &self.entries[self.find(e.dep_store)];
-                debug_assert!(s.is_store && s.seq == e.dep_store);
-                if e.exact_fit && s.data_known {
-                    forward = true;
-                } else {
-                    blocked = true; // partial overlap or data not yet
-                                    // produced: wait for the store
-                }
-            }
-            if blocked {
-                self.stalls.store_overlap += 1;
-                continue;
-            }
-            if forward {
-                out.forwards.push(e.seq);
-            } else {
-                out.cache.push(CacheReady {
-                    seq: e.seq,
-                    addr: e.addr,
-                    is_store: false,
+        let k = self
+            .eligible_stores
+            .partition_point(|&s| s < oldest_not_done);
+        if k > 0 {
+            let mut tmp = std::mem::take(&mut self.scratch);
+            tmp.extend(self.eligible_stores.drain(..k));
+            for &s in &tmp {
+                let addr = self.entries[self.find(s)].addr;
+                self.ready_insert(CacheReady {
+                    seq: s,
+                    addr,
+                    is_store: true,
                 });
             }
+            tmp.clear();
+            self.scratch = tmp;
         }
+        self.stalls.addr_unknown += self.n_addr_unknown;
+        self.stalls.prior_store_addr += self.n_prior_store;
+        self.stalls.store_overlap += self.n_overlap;
+        out.cache.clone_from(&self.ready);
+        // Events arrive in completion order; report forwards in age order
+        // like the scan-based classifier did.
+        self.pending_forwards.sort_unstable();
+        out.forwards.clone_from(&self.pending_forwards);
+        self.pending_forwards.clear();
     }
 
     /// Classifies entries into this cycle's ready sets. Allocates; the
@@ -419,7 +735,10 @@ impl Lsq {
     }
 
     /// Serializes the queue: every entry with its full ordering state,
-    /// the forward/stall counters, and the seq→index position map.
+    /// the forward/stall counters, and the seq→index position map. The
+    /// event-maintained classification structures are derived state and
+    /// are rebuilt on load, so the byte format is unchanged from the
+    /// scan-based implementation.
     pub fn save_state(&self, w: &mut StateWriter) {
         w.put_usize(self.entries.len());
         for e in &self.entries {
@@ -447,7 +766,8 @@ impl Lsq {
     }
 
     /// Restores state written by [`save_state`](Self::save_state) into a
-    /// queue of the same capacity.
+    /// queue of the same capacity, rebuilding the derived classification
+    /// structures from the restored entries.
     ///
     /// # Errors
     ///
@@ -487,7 +807,75 @@ impl Lsq {
         }
         self.dispatched = r.get_u64()?;
         self.retired = r.get_u64()?;
+        self.rebuild_derived();
         Ok(())
+    }
+
+    /// Recomputes every derived classification structure from the entry
+    /// list — one pass of exactly the old per-cycle scan's logic, run
+    /// once per snapshot load instead of once per cycle.
+    fn rebuild_derived(&mut self) {
+        self.ready.clear();
+        self.pending_forwards.clear();
+        self.unknown_stores.clear();
+        self.eligible_stores.clear();
+        self.blocked_prior.clear();
+        self.dep_waiters.clear();
+        self.n_addr_unknown = 0;
+        self.n_prior_store = 0;
+        self.n_overlap = 0;
+        for (_, mut bucket) in self.block_stores.drain() {
+            bucket.clear();
+            self.block_pool.push(bucket);
+        }
+        let mut prior_known = true;
+        for idx in 0..self.entries.len() {
+            let e = self.entries[idx];
+            if e.is_store {
+                let (a, b) = blocks_of(e.addr, e.width);
+                self.block_index_add(a, e.seq);
+                if let Some(b) = b {
+                    self.block_index_add(b, e.seq);
+                }
+                if !e.addr_known {
+                    self.unknown_stores.push_back(e.seq);
+                }
+                if e.addr_known && e.data_known && !e.issued {
+                    self.eligible_stores.push(e.seq);
+                }
+                prior_known &= e.addr_known;
+                continue;
+            }
+            if e.issued {
+                continue;
+            }
+            if !e.addr_known {
+                self.n_addr_unknown += 1;
+            } else if !prior_known {
+                self.blocked_prior.push(e.seq);
+                self.n_prior_store += 1;
+            } else if e.dep_store != NOT_MEM && e.dep_store >= self.pos_base {
+                let s = self.entries[self.find(e.dep_store)];
+                if e.exact_fit && s.data_known {
+                    // Cannot persist at a cycle boundary in a live run
+                    // (the same cycle's collect would have drained it),
+                    // but reproduce the scan's classification regardless.
+                    self.pending_forwards.push(e.seq);
+                } else {
+                    self.dep_waiters.push((e.dep_store, e.seq));
+                    self.n_overlap += 1;
+                }
+            } else {
+                self.ready.push(CacheReady {
+                    seq: e.seq,
+                    addr: e.addr,
+                    is_store: false,
+                });
+            }
+        }
+        // Entry order gave load-sorted pairs; waiter events need
+        // store-sorted.
+        self.dep_waiters.sort_unstable();
     }
 
     /// One-line occupancy snapshot for watchdog diagnostic dumps.
@@ -615,6 +1003,8 @@ mod tests {
         lsq.mark_addr_known(0);
         lsq.mark_forwarded(0);
         assert_eq!(lsq.forwards(), 1);
+        // A forced forward on a cache-ready load also leaves the ready list.
+        assert!(lsq.collect_ready(0).cache.is_empty());
     }
 
     #[test]
@@ -684,6 +1074,62 @@ mod tests {
     }
 
     #[test]
+    fn boundary_advance_reclassifies_blocked_loads() {
+        // Three loads blocked behind two unknown-address stores; resolving
+        // the stores out of order releases exactly the right loads: one
+        // forwards, one waits on the second store, one goes straight to
+        // the cache list.
+        let mut lsq = Lsq::new(8);
+        lsq.dispatch(0, 0x100, 4, true); // store A
+        lsq.dispatch(1, 0x200, 4, true); // store B
+        lsq.dispatch(2, 0x100, 4, false); // exact match on A → forwards
+        lsq.dispatch(3, 0x202, 4, false); // partial overlap on B → waits
+        lsq.dispatch(4, 0x300, 4, false); // disjoint → cache
+        for s in 2..5 {
+            lsq.mark_addr_known(s);
+        }
+        // All three loads are blocked on prior store addresses.
+        let r = lsq.collect_ready(0);
+        assert!(r.cache.is_empty() && r.forwards.is_empty());
+        // Resolving the *younger* store first moves nothing (the boundary
+        // is still the older store).
+        lsq.mark_addr_known(1);
+        let r = lsq.collect_ready(0);
+        assert!(r.cache.is_empty() && r.forwards.is_empty());
+        // Resolving the older store (with data) releases all three.
+        lsq.mark_addr_known(0);
+        lsq.mark_data_known(0);
+        let r = lsq.collect_ready(0);
+        assert_eq!(r.forwards, vec![2]);
+        let seqs: Vec<u64> = r.cache.iter().map(|c| c.seq).collect();
+        assert_eq!(seqs, vec![4], "partial overlap still waits");
+        // The partial-overlap load clears when its decider store retires.
+        lsq.mark_forwarded(2);
+        lsq.mark_data_known(1);
+        lsq.mark_issued(4);
+        lsq.retire(0);
+        lsq.retire(1);
+        let r = lsq.collect_ready(0);
+        let seqs: Vec<u64> = r.cache.iter().map(|c| c.seq).collect();
+        assert_eq!(seqs, vec![3]);
+    }
+
+    #[test]
+    fn stall_counters_accrue_per_collect() {
+        let mut lsq = Lsq::new(8);
+        lsq.dispatch(0, 0x100, 4, true); // unknown-address store
+        lsq.dispatch(1, 0x200, 4, false); // load, address unknown
+        lsq.dispatch(2, 0x300, 4, false); // load, address known, blocked on store
+        lsq.mark_addr_known(2);
+        lsq.collect_ready(0);
+        lsq.collect_ready(0);
+        let s = lsq.stalls();
+        assert_eq!(s.addr_unknown, 2, "load 1 counted each cycle");
+        assert_eq!(s.prior_store_addr, 2, "load 2 counted each cycle");
+        assert_eq!(s.store_overlap, 0);
+    }
+
+    #[test]
     fn audit_passes_clean_rounds() {
         let mut lsq = Lsq::new(8);
         lsq.dispatch(0, 0x100, 4, true);
@@ -729,6 +1175,37 @@ mod tests {
         assert!(rules.contains(&"lsq-ready-order"), "{rules:?}");
         assert!(rules.contains(&"lsq-store-early"), "{rules:?}");
         assert!(rules.contains(&"lsq-forward-illegal"), "{rules:?}");
+    }
+
+    #[test]
+    fn state_roundtrip_rebuilds_classification() {
+        // Build a queue with every category populated, snapshot it, and
+        // check the restored queue classifies identically.
+        let mut lsq = Lsq::new(16);
+        lsq.dispatch(0, 0x100, 4, true); // eligible store (addr+data known)
+        lsq.dispatch(1, 0x200, 4, true); // unknown-address store
+        lsq.dispatch(2, 0x300, 4, false); // ready load... blocked by store 1
+        lsq.dispatch(3, 0x400, 4, false); // address-unknown load
+        lsq.mark_addr_known(0);
+        lsq.mark_data_known(0);
+        lsq.mark_addr_known(2);
+        let mut w = StateWriter::new();
+        lsq.save_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut restored = Lsq::new(16);
+        restored.load_state(&mut StateReader::new(&bytes)).unwrap();
+        let a = lsq.collect_ready(6);
+        let b = restored.collect_ready(6);
+        assert_eq!(a.cache, b.cache);
+        assert_eq!(a.forwards, b.forwards);
+        assert_eq!(lsq.stalls(), restored.stalls());
+        // Events after the restore behave identically too.
+        lsq.mark_addr_known(1);
+        restored.mark_addr_known(1);
+        let a = lsq.collect_ready(6);
+        let b = restored.collect_ready(6);
+        assert_eq!(a.cache, b.cache);
+        assert_eq!(lsq.stalls(), restored.stalls());
     }
 
     #[test]

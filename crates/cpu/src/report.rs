@@ -23,8 +23,10 @@
 ///     combined: 15,
 ///     store_serializations: 0,
 ///     port_label: "LBIC-4x2".into(),
+///     skipped_cycles: 0,
 ///     wall_secs: 0.0,
 ///     cycles_per_sec: 0.0,
+///     events_per_sec: 0.0,
 /// };
 /// assert_eq!(r.ipc(), 3.0);
 /// assert!((r.mem_fraction() - 1.0 / 3.0).abs() < 1e-12);
@@ -64,16 +66,27 @@ pub struct SimReport {
     pub store_serializations: u64,
     /// Label of the port model under test, e.g. `"Bank-8"`.
     pub port_label: String,
+    /// Cycles the run loop fast-forwarded over instead of executing
+    /// (see [`cycle_skip`](crate::CpuConfig::cycle_skip)). A property of
+    /// how the simulator ran, not of the simulated machine: a ticked run
+    /// reports 0 here and identical everything else.
+    pub skipped_cycles: u64,
     /// Wall-clock seconds spent inside [`run`](crate::Simulator::run) —
     /// a measurement of the *simulator*, not the simulated machine.
     pub wall_secs: f64,
     /// Simulated cycles per wall-clock second (simulator throughput).
     pub cycles_per_sec: f64,
+    /// Executed (non-skipped) cycles per wall-clock second — the rate at
+    /// which the simulator retires actual work, independent of how much
+    /// idle time the event calendar let it skip.
+    pub events_per_sec: f64,
 }
 
-/// Equality covers only the simulated-machine measurements: `wall_secs`
-/// and `cycles_per_sec` describe the host run and are excluded so
-/// bit-identical simulations compare equal regardless of host timing.
+/// Equality covers only the simulated-machine measurements:
+/// `skipped_cycles`, `wall_secs`, `cycles_per_sec`, and
+/// `events_per_sec` describe how the host ran the simulation and are
+/// excluded, so bit-identical simulations compare equal regardless of
+/// host timing or whether idle spans were skipped or ticked through.
 impl PartialEq for SimReport {
     fn eq(&self, other: &Self) -> bool {
         let SimReport {
@@ -93,8 +106,10 @@ impl PartialEq for SimReport {
             combined,
             store_serializations,
             port_label,
+            skipped_cycles: _,
             wall_secs: _,
             cycles_per_sec: _,
+            events_per_sec: _,
         } = self;
         *committed == other.committed
             && *cycles == other.cycles
@@ -161,9 +176,10 @@ impl SimReport {
     /// Renders the simulated-machine measurements as one tab-separated
     /// record line (no trailing newline) for the matrix run journal.
     ///
-    /// The host-timing fields (`wall_secs`, `cycles_per_sec`) describe a
-    /// run that already happened and are deliberately not persisted; they
-    /// parse back as zero, which [`PartialEq`] already ignores.
+    /// The host-run fields (`skipped_cycles`, `wall_secs`,
+    /// `cycles_per_sec`, `events_per_sec`) describe a run that already
+    /// happened and are deliberately not persisted; they parse back as
+    /// zero, which [`PartialEq`] already ignores.
     pub fn to_record(&self) -> String {
         format!(
             "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
@@ -223,8 +239,10 @@ impl SimReport {
             combined: num("combined")?,
             store_serializations: num("store_serializations")?,
             port_label: fields[Self::RECORD_FIELDS - 1].to_string(),
+            skipped_cycles: 0,
             wall_secs: 0.0,
             cycles_per_sec: 0.0,
+            events_per_sec: 0.0,
         })
     }
 }
@@ -251,8 +269,10 @@ mod tests {
             combined: 30,
             store_serializations: 0,
             port_label: "Bank-4".into(),
+            skipped_cycles: 0,
             wall_secs: 0.0,
             cycles_per_sec: 0.0,
+            events_per_sec: 0.0,
         }
     }
 
@@ -284,8 +304,10 @@ mod tests {
             combined: 0,
             store_serializations: 0,
             port_label: String::new(),
+            skipped_cycles: 0,
             wall_secs: 0.0,
             cycles_per_sec: 0.0,
+            events_per_sec: 0.0,
         };
         assert_eq!(r.ipc(), 0.0);
         assert_eq!(r.mem_fraction(), 0.0);
@@ -320,8 +342,10 @@ mod tests {
     fn equality_ignores_host_timing() {
         let a = sample();
         let b = SimReport {
+            skipped_cycles: 7,
             wall_secs: 123.0,
             cycles_per_sec: 456.0,
+            events_per_sec: 78.0,
             ..sample()
         };
         assert_eq!(a, b);

@@ -35,7 +35,9 @@ use hbdc_mem::HierarchyConfig;
 pub const SNAPSHOT_MAGIC: [u8; 4] = *b"HBSN";
 
 /// Snapshot format version; bump on any payload layout change.
-pub const SNAPSHOT_VERSION: u32 = 1;
+/// Version history: 1 — initial format; 2 — added `cycle_skip` to the
+/// embedded [`CpuConfig`] and the cumulative skipped-cycle count.
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 /// A sealed, self-contained simulator checkpoint.
 ///
@@ -144,6 +146,7 @@ impl Simulator {
         w.put_u64(self.committed);
         w.put_u64(self.loads);
         w.put_u64(self.stores);
+        w.put_u64(self.skipped_cycles);
         w.put_bool(self.fetch_done);
         w.put_bool(self.halted);
         w.put_u64(self.last_commit_cycle);
@@ -246,6 +249,7 @@ impl Simulator {
         sim.committed = r.get_u64()?;
         sim.loads = r.get_u64()?;
         sim.stores = r.get_u64()?;
+        sim.skipped_cycles = r.get_u64()?;
         sim.fetch_done = r.get_bool()?;
         sim.halted = r.get_bool()?;
         sim.last_commit_cycle = r.get_u64()?;
@@ -362,6 +366,66 @@ mod tests {
     #[test]
     fn resume_is_bit_identical_under_audit() {
         golden_sweep(true);
+    }
+
+    /// Serially dependent cold-missing loads: each iteration's address
+    /// needs the previous load's data, so between the grant and the DRAM
+    /// fill the machine is completely quiescent — guaranteed idle spans
+    /// for every port model.
+    const DEPENDENT_MISSES: &str = ".data\nv: .space 8192\n.text\nmain:\n la r8, v\n li r9, 40\n\
+        loop:\n lw r1, 0(r8)\n add r8, r8, r1\n addi r8, r8, 64\n\
+        addi r9, r9, -1\n bnez r9, loop\n halt\n";
+
+    #[test]
+    fn checkpoint_inside_idle_span_resumes_bit_identically() {
+        let p = assemble(DEPENDENT_MISSES).unwrap();
+        // `audit: false` explicitly: the auditor forces skipping off
+        // (including when the `audit` feature flips the default on), and
+        // this test is about splitting a *skipped* span.
+        let cfg = CpuConfig {
+            audit: false,
+            ..CpuConfig::default()
+        };
+        for port in every_port() {
+            let mut full = Simulator::new(&p, cfg, HierarchyConfig::default(), port);
+            let baseline = full.run().unwrap();
+            let total = full.skipped_cycles();
+            assert!(total > 0, "{port:?}: workload produced no skippable spans");
+            // Smallest budget at which a fresh run skips anything: its
+            // pause point sits just past a budget-capped first skip, so
+            // cycle `n - skipped` is the first cycle the uninterrupted
+            // run jumps over.
+            let mut n = 1;
+            let first_skip = loop {
+                let mut sim = Simulator::new(&p, cfg, HierarchyConfig::default(), port);
+                let done = sim.run_for(n).unwrap();
+                let s = sim.skipped_cycles();
+                if s > 0 {
+                    break s;
+                }
+                assert!(!done, "{port:?}: run finished without ever skipping");
+                n += 1;
+            };
+            let k = n - first_skip;
+            let mut head = Simulator::new(&p, cfg, HierarchyConfig::default(), port);
+            assert!(!head.run_for(k).unwrap());
+            assert_eq!(
+                head.skipped_cycles(),
+                0,
+                "{port:?}: {k} is inside the first span"
+            );
+            let snap = head.save_snapshot();
+            let mut tail = Simulator::resume(&snap).unwrap();
+            let resumed = tail.run().unwrap();
+            assert_eq!(baseline, resumed, "{port:?} resumed mid-idle-span diverged");
+            // Splitting strictly inside a span re-executes exactly one
+            // probe cycle there; every other skipped cycle is recovered.
+            assert_eq!(
+                tail.skipped_cycles(),
+                total - 1,
+                "{port:?}: checkpoint at {k} was not strictly inside an idle span"
+            );
+        }
     }
 
     #[test]

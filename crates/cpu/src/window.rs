@@ -356,8 +356,10 @@ impl Window {
     }
 
     /// Marks Done every issued entry whose completion time has arrived,
-    /// waking its dependents.
-    pub fn advance_completions(&mut self, now: u64) {
+    /// waking its dependents. Returns the number of entries completed
+    /// (the simulator's idle detector treats any completion as activity).
+    pub fn advance_completions(&mut self, now: u64) -> usize {
+        let mut completed = 0usize;
         while let Some(&Reverse((at, seq))) = self.completions.peek() {
             if at > now {
                 break;
@@ -366,6 +368,7 @@ impl Window {
             if seq < self.base_seq {
                 continue; // already committed (defensive)
             }
+            completed += 1;
             let mut dependents = {
                 let e = self.entry_mut(seq);
                 debug_assert_eq!(e.state, State::Issued);
@@ -398,6 +401,14 @@ impl Window {
             dependents.clear();
             self.dep_pool.push(dependents);
         }
+        completed
+    }
+
+    /// The cycle of the earliest pending completion event, if any.
+    /// After [`advance_completions`](Self::advance_completions)`(now)`
+    /// this is always strictly greater than `now`.
+    pub fn next_completion_at(&self) -> Option<u64> {
+        self.completions.peek().map(|&Reverse((at, _))| at)
     }
 
     /// Whether `seq` has produced its result.
@@ -775,6 +786,21 @@ mod tests {
         w.advance_completions(101);
         assert!(w.is_done(0));
         assert_eq!(w.ready_seqs(), vec![1]);
+    }
+
+    #[test]
+    fn next_completion_peeks_earliest_event() {
+        let mut w = Window::new(8);
+        w.dispatch(alu(0, 1, 0, 0));
+        w.dispatch(alu(1, 2, 0, 0));
+        assert_eq!(w.next_completion_at(), None);
+        w.mark_issued(0, Some(7));
+        w.mark_issued(1, Some(3));
+        assert_eq!(w.next_completion_at(), Some(3));
+        assert_eq!(w.advance_completions(3), 1);
+        assert_eq!(w.next_completion_at(), Some(7));
+        assert_eq!(w.advance_completions(7), 1);
+        assert_eq!(w.next_completion_at(), None);
     }
 
     #[test]

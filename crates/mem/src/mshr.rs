@@ -87,6 +87,14 @@ impl MshrFile {
         self.entries.retain(|_, &mut ready| ready > now);
     }
 
+    /// Completion cycle of the earliest outstanding fill still strictly
+    /// in the future at `now`. Entries at or before `now` are already
+    /// complete (they linger until the next access retires them) and are
+    /// not future events.
+    pub fn next_ready_after(&self, now: u64) -> Option<u64> {
+        self.entries.values().copied().filter(|&r| r > now).min()
+    }
+
     /// Number of misses currently outstanding.
     pub fn outstanding(&self) -> usize {
         self.entries.len()
@@ -181,6 +189,18 @@ mod tests {
         assert_eq!(m.outstanding(), 1);
         assert_eq!(m.ready_at(0x40), Some(10));
         assert_eq!(m.ready_at(0x00), None);
+    }
+
+    #[test]
+    fn next_ready_skips_already_completed_fills() {
+        let mut m = MshrFile::new(4);
+        m.register(0x00, 5);
+        m.register(0x40, 10);
+        // Entry at cycle 5 is complete by now=7 but not yet retired: it
+        // must not masquerade as a future event.
+        assert_eq!(m.next_ready_after(7), Some(10));
+        assert_eq!(m.next_ready_after(4), Some(5));
+        assert_eq!(m.next_ready_after(10), None);
     }
 
     #[test]

@@ -13,7 +13,9 @@ if [ "${HBDC_SKIP_PERF:-0}" = "1" ]; then
 fi
 
 read_rate() {
-    grep -o '"cycles_per_sec": *[0-9]*' "$1" | grep -o '[0-9]*$'
+    # The aggregate rate is the top-level two-space-indented key; the
+    # per-benchmark entries are nested deeper and must not match.
+    grep -m1 '^  "cycles_per_sec":' "$1" | grep -o '[0-9]\+'
 }
 
 baseline=$(read_rate BENCH_throughput.json)

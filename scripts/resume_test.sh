@@ -5,6 +5,13 @@
 # least one cell has been journaled), asserts the interrupted exit code
 # (130), resumes from the journal, and checks the resumed campaign's
 # stdout is byte-identical to an uninterrupted run of the same matrix.
+#
+# The campaign runs `compress`, whose runs contain idle spans that the
+# event calendar fast-forwards over; the runner's cycle-chunked
+# checkpoints land at arbitrary cycle counts, so interrupting it also
+# exercises snapshots cut *inside* a skipped span (the resumed half must
+# re-derive the remainder of the span bit-identically — the unit goldens
+# in `crates/cpu/src/snapshot.rs` pin this per port model).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -14,7 +21,7 @@ trap 'rm -rf "$tmp"' EXIT
 cargo build --release -q -p hbdc-bench --bin table3
 bin="target/release/table3"
 journal="$tmp/t3.journal"
-common=(--scale small --bench swim --threads 1)
+common=(--scale small --bench compress --threads 1)
 
 echo "-- journaled run (will be interrupted)"
 "$bin" "${common[@]}" --journal "$journal" \
