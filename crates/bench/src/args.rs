@@ -10,7 +10,7 @@
 use std::path::PathBuf;
 use std::time::Duration;
 
-use crate::runner::MatrixOpts;
+use crate::runner::{MatrixOpts, TraceMode};
 use hbdc_workloads::{Benchmark, Scale};
 
 /// The argument following `flag` on the command line. Outer `None`: the
@@ -117,8 +117,9 @@ pub fn benches_from_args() -> Vec<Benchmark> {
 }
 
 /// Reads the campaign options from `argv`: `--journal <path>`,
-/// `--resume <path>` (sets the journal path *and* resume mode), and
-/// `--timeout-secs <N>`. Prints a usage message naming the offending
+/// `--resume <path>` (sets the journal path *and* resume mode),
+/// `--timeout-secs <N>`, `--trace-mode <execute|replay>`, and
+/// `--trace-cache <dir>`. Prints a usage message naming the offending
 /// flag and exits with status 2 on a malformed value.
 pub fn matrix_opts_from_args() -> MatrixOpts {
     let mut opts = MatrixOpts::default();
@@ -146,7 +147,32 @@ pub fn matrix_opts_from_args() -> MatrixOpts {
             )),
         }
     }
+    if let Some(v) = flag_value("--trace-mode") {
+        opts.trace_mode = parse_trace_mode(v.as_deref().unwrap_or(""))
+            .unwrap_or_else(|e| usage_bail(&format!("--trace-mode: {e}")));
+    }
+    if let Some(v) = flag_value("--trace-cache") {
+        match v {
+            Some(p) if !p.starts_with("--") => opts.trace_cache = Some(PathBuf::from(p)),
+            _ => usage_bail(
+                "--trace-cache needs a directory path, e.g. `--trace-cache results/traces`",
+            ),
+        }
+    }
     opts
+}
+
+/// Parses a `--trace-mode` CLI value.
+///
+/// # Errors
+///
+/// Returns the offending string if it is not `execute` or `replay`.
+pub fn parse_trace_mode(s: &str) -> Result<TraceMode, String> {
+    match s {
+        "execute" => Ok(TraceMode::Execute),
+        "replay" => Ok(TraceMode::Replay),
+        other => Err(format!("unknown trace mode `{other}` (use execute|replay)")),
+    }
 }
 
 #[cfg(test)]

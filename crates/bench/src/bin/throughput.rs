@@ -9,13 +9,21 @@
 //! to a workload, not just visible in the total.
 //!
 //! Usage: `throughput [--scale test|small|full] [--bench <name>] [--threads N]
-//! [--journal PATH | --resume PATH] [--timeout-secs N]`
+//! [--journal PATH | --resume PATH] [--timeout-secs N]
+//! [--trace-mode execute|replay] [--trace-cache DIR]`
 //! (default scale: `small`, the standing cross-PR measurement point).
+//!
+//! Besides the working-copy `BENCH_throughput.json`, each run appends an
+//! immutable copy under `results/bench_history/` (sequence-numbered,
+//! stamped with the git commit when available) so the perf trajectory
+//! across PRs stays plottable; prior entries are never overwritten.
 
+use std::path::Path;
 use std::time::Instant;
 
 use hbdc_bench::runner::{
-    benches_from_args, scale_from_args_or, scale_label, sim_speed, simulate_matrix, table3_columns,
+    benches_from_args, matrix_opts_from_args, scale_from_args_or, scale_label, sim_speed,
+    simulate_matrix, table3_columns, TraceMode,
 };
 use hbdc_cpu::SimReport;
 use hbdc_workloads::Scale;
@@ -49,10 +57,47 @@ fn speed_over<'a>(reports: impl IntoIterator<Item = &'a SimReport> + Clone) -> S
     }
 }
 
+/// Appends one immutable history snapshot under `results/bench_history/`.
+/// The filename carries a monotonically increasing sequence number (and
+/// the current git commit when one is resolvable), and an existing file
+/// is never overwritten — a collision just advances the sequence.
+fn append_history(json: &str) -> std::io::Result<std::path::PathBuf> {
+    let dir = Path::new("results/bench_history");
+    std::fs::create_dir_all(dir)?;
+    let next_seq = std::fs::read_dir(dir)?
+        .flatten()
+        .filter_map(|e| {
+            let name = e.file_name();
+            let stem = name.to_str()?.strip_suffix(".json")?;
+            stem.split('-').next()?.parse::<u64>().ok()
+        })
+        .max()
+        .map_or(1, |n| n + 1);
+    let commit = std::process::Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map_or_else(|| "nogit".to_string(), |s| s.trim().to_string());
+    for seq in next_seq.. {
+        let path = dir.join(format!("{seq:04}-{commit}.json"));
+        if !path.exists() {
+            std::fs::write(&path, json)?;
+            return Ok(path);
+        }
+    }
+    unreachable!("u64 sequence space exhausted")
+}
+
 fn main() -> std::process::ExitCode {
     let scale = scale_from_args_or(Scale::Small);
     let benches = benches_from_args();
     let columns = table3_columns();
+    let trace_mode = match matrix_opts_from_args().trace_mode {
+        TraceMode::Replay => "replay",
+        TraceMode::Execute => "execute",
+    };
 
     let start = Instant::now();
     let run = simulate_matrix(&benches, scale, &columns);
@@ -67,13 +112,19 @@ fn main() -> std::process::ExitCode {
     // `"cycles_per_sec"` key stays at top-level two-space indent —
     // `scripts/perf_guard.sh` anchors on that to ignore the per-benchmark
     // entries below it.
+    // `sim_cpu_secs` covers only the timing loops of the finished cells;
+    // the one-shot functional capture pass is reported apart as
+    // `capture_secs` so the two phases stay separately interpretable
+    // against `harness_wall_secs`.
     let mut json = format!(
-        "{{\n  \"name\": \"simulator-throughput\",\n  \"scale\": \"{}\",\n  \"sims\": {},\n  \"simulated_cycles\": {},\n  \"skipped_cycles\": {},\n  \"sim_cpu_secs\": {:.3},\n  \"cycles_per_sec\": {:.0},\n  \"executed_cycles_per_sec\": {:.0},\n  \"harness_wall_secs\": {:.3},\n  \"benchmarks\": [",
+        "{{\n  \"name\": \"simulator-throughput\",\n  \"scale\": \"{}\",\n  \"trace_mode\": \"{}\",\n  \"sims\": {},\n  \"simulated_cycles\": {},\n  \"skipped_cycles\": {},\n  \"sim_cpu_secs\": {:.3},\n  \"capture_secs\": {:.3},\n  \"cycles_per_sec\": {:.0},\n  \"executed_cycles_per_sec\": {:.0},\n  \"harness_wall_secs\": {:.3},\n  \"benchmarks\": [",
         scale_label(scale),
+        trace_mode,
         total.sims,
         total.cycles,
         total.skipped,
         total.sim_secs,
+        run.capture_secs,
         total.rate,
         total.executed_rate,
         elapsed,
@@ -96,6 +147,10 @@ fn main() -> std::process::ExitCode {
     }
     json.push_str("\n  ]\n}\n");
     std::fs::write("BENCH_throughput.json", &json).expect("write BENCH_throughput.json");
+    match append_history(&json) {
+        Ok(path) => eprintln!("history snapshot: {}", path.display()),
+        Err(e) => eprintln!("warning: could not append bench history: {e}"),
+    }
     print!("{json}");
     run.exit_code()
 }

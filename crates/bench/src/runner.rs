@@ -6,7 +6,7 @@ use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
 use hbdc_core::PortConfig;
-use hbdc_cpu::{CpuConfig, SimError, SimReport, SimSnapshot, Simulator};
+use hbdc_cpu::{CommittedTrace, CpuConfig, SimError, SimReport, SimSnapshot, Simulator};
 use hbdc_mem::HierarchyConfig;
 use hbdc_snap::{fnv1a64, interrupt, write_atomic, StateWriter};
 use hbdc_stats::summary::arithmetic_mean;
@@ -58,8 +58,8 @@ pub fn sim_ok(result: Result<SimReport, SimError>) -> SimReport {
 // re-exported here because the binaries import it from the runner.
 pub(crate) use crate::args::usage_bail;
 pub use crate::args::{
-    benches_from_args, csv_from_args, matrix_opts_from_args, parse_scale, scale_from_args,
-    scale_from_args_or, scale_label, threads_from_args,
+    benches_from_args, csv_from_args, matrix_opts_from_args, parse_scale, parse_trace_mode,
+    scale_from_args, scale_from_args_or, scale_label, threads_from_args,
 };
 
 /// Accumulates per-suite IPC rows and produces the paper's "SPECint Ave."
@@ -148,6 +148,11 @@ pub struct MatrixRun {
     /// boundary and the journal flushed, so a later `--resume` continues
     /// where this run stopped.
     pub interrupted: bool,
+    /// Wall-clock seconds the trace-capture phase took (0.0 in execute
+    /// mode, and tiny when the trace cache was warm). Kept separate from
+    /// the per-report `wall_secs` so replay timing is reported apart from
+    /// the one-shot functional pass.
+    pub capture_secs: f64,
 }
 
 impl MatrixRun {
@@ -280,6 +285,20 @@ pub fn simulate_matrix_with(
     simulate_matrix_opts(benches, scale, configs, &opts).unwrap_or_else(|e| usage_bail(&e))
 }
 
+/// How matrix cells obtain their dynamic instruction stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TraceMode {
+    /// Capture each benchmark's committed stream once (one functional
+    /// pass per benchmark, served from the trace cache when possible),
+    /// then drive every cell of the configuration fan-out by timing-only
+    /// replay. Reports are bit-identical to [`Execute`](Self::Execute);
+    /// the functional work is simply not repeated per cell.
+    #[default]
+    Replay,
+    /// Execute the program functionally inside every cell.
+    Execute,
+}
+
 /// Campaign options for [`simulate_matrix_opts`].
 #[derive(Debug, Clone, Default)]
 pub struct MatrixOpts {
@@ -298,6 +317,14 @@ pub struct MatrixOpts {
     /// checkpointed in-flight cells resume bit-identically from their
     /// snapshots.
     pub resume: bool,
+    /// Whether cells replay a captured trace or execute functionally.
+    pub trace_mode: TraceMode,
+    /// Directory for the on-disk trace corpus. Captured traces are
+    /// persisted here keyed by benchmark, scale, warmup, and program
+    /// fingerprint, so later campaigns — and *other* experiment binaries
+    /// sharing the directory — skip the capture pass entirely. `None`
+    /// keeps traces in memory for this campaign only.
+    pub trace_cache: Option<PathBuf>,
 }
 
 /// First line of every matrix run journal.
@@ -470,6 +497,90 @@ fn load_journal(
     Ok(out)
 }
 
+/// The on-disk name of a benchmark's cached trace. The program
+/// fingerprint is part of the name, so a kernel-generator change makes
+/// the stale file unreachable rather than silently replayed.
+fn trace_cache_path(dir: &Path, bench: &str, scale: Scale, warmup: u64, fp: u64) -> PathBuf {
+    dir.join(format!(
+        "{bench}-{}-w{warmup}-{fp:016x}.hbtr",
+        scale_label(scale)
+    ))
+}
+
+/// Captures (or loads from the cache) one committed-stream trace per
+/// benchmark, in parallel across the benchmarks. Returns the traces —
+/// `None` where capture failed, leaving those cells to execute
+/// functionally and report the real error — and the wall-clock seconds
+/// the phase took, which callers report separately from replay time.
+fn capture_traces(
+    benches: &[Benchmark],
+    wanted: &[bool],
+    scale: Scale,
+    cpu_cfg: &CpuConfig,
+    cache: Option<&Path>,
+) -> (Vec<Option<CommittedTrace>>, f64) {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    let start = Instant::now();
+    if let Some(dir) = cache {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!(
+                "warning: cannot create trace cache {}: {e}; capturing in memory",
+                dir.display()
+            );
+        }
+    }
+    let warmup = cpu_cfg.warmup_insts;
+    let one = |bench: &Benchmark| -> Option<CommittedTrace> {
+        let program = bench.build(scale);
+        let fp = fnv1a64(&hbdc_isa::object::to_bytes(&program));
+        let path = cache.map(|d| trace_cache_path(d, bench.name(), scale, warmup, fp));
+        if let Some(p) = &path {
+            if let Ok(t) = CommittedTrace::read_from_path(p) {
+                // The fingerprint is in the file name, but a renamed or
+                // hand-edited file must still not drive a replay.
+                if t.program_fingerprint() == fp && t.warmup_insts() == warmup && t.is_complete() {
+                    return Some(t);
+                }
+            }
+        }
+        let t = CommittedTrace::capture(&program, warmup, None).ok()?;
+        if let Some(p) = &path {
+            if let Err(e) = t.write_to_path(p) {
+                eprintln!("warning: cannot persist trace {}: {e}", p.display());
+            }
+        }
+        Some(t)
+    };
+    let mut traces: Vec<Option<CommittedTrace>> = vec![None; benches.len()];
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (i, bench) in benches.iter().enumerate() {
+            if !wanted[i] {
+                continue;
+            }
+            // Worker-thread naming keeps a capture panic (a kernel
+            // generator blowing up) quiet here; the execute-mode fallback
+            // cell reproduces it as a proper JobFailure.
+            let h = std::thread::Builder::new()
+                .name(format!("{WORKER_PREFIX}-capture-{i}"))
+                .spawn_scoped(scope, move || {
+                    catch_unwind(AssertUnwindSafe(|| one(bench))).ok().flatten()
+                });
+            match h {
+                Ok(h) => handles.push((i, h)),
+                Err(e) => eprintln!("warning: failed to spawn capture worker: {e}"),
+            }
+        }
+        for (i, h) in handles {
+            if let Ok(t) = h.join() {
+                traces[i] = t;
+            }
+        }
+    });
+    (traces, start.elapsed().as_secs_f64())
+}
+
 /// One matrix cell's outcome as a worker reports it.
 enum JobOutcome {
     /// The simulation finished and produced a report.
@@ -481,26 +592,53 @@ enum JobOutcome {
     Interrupted,
 }
 
+/// Everything a worker needs to run one matrix cell.
+#[derive(Clone, Copy)]
+struct CellJob<'a> {
+    bench: &'a Benchmark,
+    trace: Option<&'a CommittedTrace>,
+    scale: Scale,
+    port: PortConfig,
+    cpu_cfg: CpuConfig,
+    timeout: Option<Duration>,
+    checkpoint: Option<&'a Path>,
+    resume: bool,
+}
+
 /// Runs one matrix cell. Plain cells run straight to completion; cells
 /// with a timeout or a checkpoint path run in [`CHUNK_CYCLES`]-cycle
 /// slices, polling the interrupt latch and the wall clock between slices.
 /// Panics anywhere inside (kernel generators included) are caught and
 /// rendered as failures.
-fn run_cell(
-    bench: &Benchmark,
-    scale: Scale,
-    port: PortConfig,
-    cpu_cfg: CpuConfig,
-    timeout: Option<Duration>,
-    checkpoint: Option<&Path>,
-    resume: bool,
-) -> JobOutcome {
+fn run_cell(job: CellJob<'_>) -> JobOutcome {
     use std::panic::{catch_unwind, AssertUnwindSafe};
 
+    let CellJob {
+        bench,
+        trace,
+        scale,
+        port,
+        cpu_cfg,
+        timeout,
+        checkpoint,
+        resume,
+    } = job;
+
     let body = || -> JobOutcome {
+        // Fresh construction: timing-only replay of the benchmark's
+        // captured trace when one exists, functional execution otherwise
+        // (execute mode, or the capture itself failed and the cell should
+        // reproduce the real error).
+        let fresh = || match trace {
+            Some(t) => Simulator::try_from_trace(t, cpu_cfg, HierarchyConfig::default(), port),
+            None => {
+                let program = bench.build(scale);
+                Simulator::try_new(&program, cpu_cfg, HierarchyConfig::default(), port)
+            }
+        };
         if checkpoint.is_none() && timeout.is_none() {
             // Fast path: nothing to poll for between cycle chunks.
-            return match simulate_with(bench, scale, port, cpu_cfg) {
+            return match fresh().and_then(|mut sim| sim.run()) {
                 Ok(r) => JobOutcome::Done(Box::new(r)),
                 Err(e) => JobOutcome::Failed(e.to_string()),
             };
@@ -514,10 +652,7 @@ fn run_cell(
             Some(Ok(sim)) => Ok(sim),
             // A stale or corrupt cell checkpoint costs a fresh run of that
             // one cell, never the campaign.
-            Some(Err(_)) | None => {
-                let program = bench.build(scale);
-                Simulator::try_new(&program, cpu_cfg, HierarchyConfig::default(), port)
-            }
+            Some(Err(_)) | None => fresh(),
         };
         let mut sim = match built {
             Ok(sim) => sim,
@@ -624,12 +759,44 @@ pub fn simulate_matrix_opts(
         .min(pending.len().max(1));
     install_worker_panic_hook();
 
+    // Capture-then-fan-out front end: one functional pass per benchmark
+    // that still has pending cells, then every cell replays its trace.
+    // A journal resume with nothing left to run captures nothing.
+    let (traces, capture_secs) = match opts.trace_mode {
+        TraceMode::Execute => (vec![None; benches.len()], 0.0),
+        TraceMode::Replay => {
+            let mut wanted = vec![false; benches.len()];
+            for &i in &pending {
+                wanted[i / configs.len()] = true;
+            }
+            capture_traces(
+                benches,
+                &wanted,
+                scale,
+                &opts.cpu_cfg,
+                opts.trace_cache.as_deref(),
+            )
+        }
+    };
+    if opts.trace_mode == TraceMode::Replay && !pending.is_empty() {
+        eprintln!(
+            "trace-capture: {capture_secs:.2}s for {} trace{}",
+            traces.iter().flatten().count(),
+            if traces.iter().flatten().count() == 1 {
+                ""
+            } else {
+                "s"
+            }
+        );
+    }
+
     let next = AtomicUsize::new(0);
     let (tx, rx) = mpsc::channel::<(usize, JobOutcome, u32)>();
 
     let scope_result: Result<(), String> = std::thread::scope(|scope| {
         let next = &next;
         let pending = &pending;
+        let traces = &traces;
         for w in 0..threads {
             let tx = tx.clone();
             let worker = std::thread::Builder::new().name(format!("{WORKER_PREFIX}-{w}"));
@@ -640,18 +807,20 @@ pub fn simulate_matrix_opts(
                 }
                 let i = pending[k];
                 let bench = &benches[i / configs.len()];
+                let trace = traces[i / configs.len()].as_ref();
                 let (_, port) = &configs[i % configs.len()];
                 let ckpt = opts.journal.as_deref().map(|p| cell_snap_path(p, i));
                 let run_once = || {
-                    run_cell(
+                    run_cell(CellJob {
                         bench,
+                        trace,
                         scale,
-                        *port,
-                        opts.cpu_cfg,
-                        opts.timeout,
-                        ckpt.as_deref(),
-                        opts.resume,
-                    )
+                        port: *port,
+                        cpu_cfg: opts.cpu_cfg,
+                        timeout: opts.timeout,
+                        checkpoint: ckpt.as_deref(),
+                        resume: opts.resume,
+                    })
                 };
                 let mut attempts = 1;
                 let mut outcome = run_once();
@@ -751,6 +920,7 @@ pub fn simulate_matrix_opts(
         reports,
         failures,
         interrupted,
+        capture_secs,
     };
     run.print_failure_summary();
     Ok(run)
@@ -962,6 +1132,7 @@ mod tests {
             reports: vec![],
             failures: vec![],
             interrupted: false,
+            capture_secs: 0.0,
         };
         // ExitCode lacks PartialEq; compare the Debug renderings.
         assert_eq!(
@@ -977,6 +1148,7 @@ mod tests {
                 error: "boom".into(),
             }],
             interrupted: false,
+            capture_secs: 0.0,
         };
         assert_eq!(
             format!("{:?}", dirty.exit_code()),
@@ -986,6 +1158,7 @@ mod tests {
             reports: vec![vec![None]],
             failures: vec![],
             interrupted: true,
+            capture_secs: 0.0,
         };
         assert!(!interrupted.is_complete());
         assert_eq!(

@@ -69,8 +69,17 @@ impl PortModel for BankedPorts {
     fn arbitrate_into(&mut self, ready: &[MemRequest], granted: &mut Vec<usize>) {
         granted.clear();
         self.taken.iter_mut().for_each(|t| *t = false);
+        let banks = self.taken.len();
         let mut conflicts = 0u64;
         for (i, r) in ready.iter().enumerate() {
+            // Once every bank is claimed no later request can win, so the
+            // rest of the (age-ordered) ready list is all conflicts —
+            // counting it wholesale keeps the round O(banks) even when
+            // ports saturate and the ready list grows long.
+            if granted.len() == banks {
+                conflicts += (ready.len() - i) as u64;
+                break;
+            }
             let bank = self.mapper.bank_of(r.addr) as usize;
             if self.taken[bank] {
                 conflicts += 1;

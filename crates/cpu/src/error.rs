@@ -68,6 +68,13 @@ pub enum SimError {
         /// What was wrong with the snapshot.
         detail: String,
     },
+    /// A committed-stream trace could not be read, or does not fit the
+    /// requested replay (corrupt file, warmup mismatch, incomplete
+    /// capture).
+    Trace {
+        /// What was wrong with the trace.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for SimError {
@@ -110,6 +117,7 @@ impl std::fmt::Display for SimError {
             }
             SimError::Config { detail } => write!(f, "invalid configuration: {detail}"),
             SimError::Snapshot { detail } => write!(f, "snapshot failure: {detail}"),
+            SimError::Trace { detail } => write!(f, "trace failure: {detail}"),
         }
     }
 }

@@ -62,6 +62,7 @@ mod lsq;
 mod report;
 mod sim;
 mod snapshot;
+mod trace;
 mod window;
 
 pub use bpred::{AlwaysTaken, Bimodal, BranchPredictor, FrontEnd, Gshare, PredictorKind};
@@ -74,4 +75,5 @@ pub use lsq::{Lsq, LsqStalls};
 pub use report::SimReport;
 pub use sim::{PipeStats, Simulator};
 pub use snapshot::{SimSnapshot, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
-pub use window::Window;
+pub use trace::{CommittedTrace, TracePlayer, TRACE_MAGIC, TRACE_VERSION};
+pub use window::{InstMeta, Retired, Window};

@@ -14,6 +14,7 @@
 
 use std::collections::{HashMap, VecDeque};
 
+use hbdc_core::MemRequest;
 use hbdc_snap::{SnapError, StateReader, StateWriter};
 
 /// One memory reference that is ready to access the cache this cycle.
@@ -138,8 +139,10 @@ pub struct Lsq {
     //
     // The persistent ready list, in age order: exactly what the next
     // `collect_ready_into` call reports as `cache`, kept current by the
-    // mark_*/retire event handlers.
-    ready: Vec<CacheReady>,
+    // mark_*/retire event handlers. Held directly as port-model requests
+    // (`id` = seq) so the simulator's arbitration round can borrow it in
+    // place instead of copying every offered reference every cycle.
+    ready: Vec<MemRequest>,
     // Loads that became forwardable since the last collect; drained once
     // (the simulator services a reported forward in the same cycle).
     pending_forwards: Vec<u64>,
@@ -295,15 +298,15 @@ impl Lsq {
         NOT_MEM
     }
 
-    fn ready_insert(&mut self, c: CacheReady) {
-        let k = self.ready.partition_point(|r| r.seq < c.seq);
-        debug_assert!(self.ready.get(k).map(|r| r.seq) != Some(c.seq));
+    fn ready_insert(&mut self, c: MemRequest) {
+        let k = self.ready.partition_point(|r| r.id < c.id);
+        debug_assert!(self.ready.get(k).map(|r| r.id) != Some(c.id));
         self.ready.insert(k, c);
     }
 
     fn ready_remove(&mut self, seq: u64) -> bool {
-        let k = self.ready.partition_point(|r| r.seq < seq);
-        if self.ready.get(k).map(|r| r.seq) == Some(seq) {
+        let k = self.ready.partition_point(|r| r.id < seq);
+        if self.ready.get(k).map(|r| r.id) == Some(seq) {
             self.ready.remove(k);
             true
         } else {
@@ -336,8 +339,8 @@ impl Lsq {
                 self.n_overlap += 1;
             }
         } else {
-            self.ready_insert(CacheReady {
-                seq: load,
+            self.ready_insert(MemRequest {
+                id: load,
                 addr,
                 is_store: false,
             });
@@ -564,8 +567,8 @@ impl Lsq {
                 tmp.extend(self.dep_waiters.drain(lo..hi).map(|(_, l)| l));
                 for &load in &tmp {
                     let addr = self.entries[self.find(load)].addr;
-                    self.ready_insert(CacheReady {
-                        seq: load,
+                    self.ready_insert(MemRequest {
+                        id: load,
                         addr,
                         is_store: false,
                     });
@@ -611,6 +614,27 @@ impl Lsq {
     /// their commit-time cache access. The frontier must be monotone
     /// across calls (it is: the RUU's Done prefix only grows).
     pub fn collect_ready_into(&mut self, oldest_not_done: u64, out: &mut ReadyRefs) {
+        self.begin_round(oldest_not_done);
+        out.cache.clear();
+        out.cache.extend(self.ready.iter().map(|r| CacheReady {
+            seq: r.id,
+            addr: r.addr,
+            is_store: r.is_store,
+        }));
+        // Events arrive in completion order; report forwards in age order
+        // like the scan-based classifier did.
+        self.pending_forwards.sort_unstable();
+        out.forwards.clone_from(&self.pending_forwards);
+        self.pending_forwards.clear();
+    }
+
+    /// The first half of [`collect_ready_into`](Self::collect_ready_into):
+    /// promotes stores the completion frontier has newly passed into the
+    /// ready list and accrues this cycle's stall counters. The simulator's
+    /// non-audited hot path follows with [`ready_requests`](Self::ready_requests)
+    /// and [`take_forwards`](Self::take_forwards), which hand over the same
+    /// sets without the intermediate [`ReadyRefs`] copy.
+    pub fn begin_round(&mut self, oldest_not_done: u64) {
         let k = self
             .eligible_stores
             .partition_point(|&s| s < oldest_not_done);
@@ -619,8 +643,8 @@ impl Lsq {
             tmp.extend(self.eligible_stores.drain(..k));
             for &s in &tmp {
                 let addr = self.entries[self.find(s)].addr;
-                self.ready_insert(CacheReady {
-                    seq: s,
+                self.ready_insert(MemRequest {
+                    id: s,
                     addr,
                     is_store: true,
                 });
@@ -631,12 +655,25 @@ impl Lsq {
         self.stalls.addr_unknown += self.n_addr_unknown;
         self.stalls.prior_store_addr += self.n_prior_store;
         self.stalls.store_overlap += self.n_overlap;
-        out.cache.clone_from(&self.ready);
-        // Events arrive in completion order; report forwards in age order
-        // like the scan-based classifier did.
+    }
+
+    /// This round's cache-ready references as port-model requests, in
+    /// age order — exactly the requests [`ReadyRefs::cache`] reports,
+    /// borrowed in place instead of copied. Valid until the next `mark_*`
+    /// or [`retire`](Self::retire) call mutates the ready list. Call
+    /// after [`begin_round`](Self::begin_round).
+    pub fn ready_requests(&self) -> &[MemRequest] {
+        &self.ready
+    }
+
+    /// Moves this round's newly-forwardable loads into `out` (cleared
+    /// first, age-sorted), emptying the pending set — the ownership-swap
+    /// counterpart of the [`ReadyRefs::forwards`] clone. Call after
+    /// [`begin_round`](Self::begin_round).
+    pub fn take_forwards(&mut self, out: &mut Vec<u64>) {
         self.pending_forwards.sort_unstable();
-        out.forwards.clone_from(&self.pending_forwards);
-        self.pending_forwards.clear();
+        out.clear();
+        std::mem::swap(&mut self.pending_forwards, out);
     }
 
     /// Classifies entries into this cycle's ready sets. Allocates; the
@@ -866,8 +903,8 @@ impl Lsq {
                     self.n_overlap += 1;
                 }
             } else {
-                self.ready.push(CacheReady {
-                    seq: e.seq,
+                self.ready.push(MemRequest {
+                    id: e.seq,
                     addr: e.addr,
                     is_store: false,
                 });

@@ -36,8 +36,10 @@ pub const SNAPSHOT_MAGIC: [u8; 4] = *b"HBSN";
 
 /// Snapshot format version; bump on any payload layout change.
 /// Version history: 1 — initial format; 2 — added `cycle_skip` to the
-/// embedded [`CpuConfig`] and the cumulative skipped-cycle count.
-pub const SNAPSHOT_VERSION: u32 = 2;
+/// embedded [`CpuConfig`] and the cumulative skipped-cycle count;
+/// 3 — tagged instruction source (execute-mode emulator state, or an
+/// embedded committed-stream trace plus replay cursor).
+pub const SNAPSHOT_VERSION: u32 = 3;
 
 /// A sealed, self-contained simulator checkpoint.
 ///
@@ -155,8 +157,22 @@ impl Simulator {
         w.put_opt_u64(self.stall_on);
         w.put_u64(self.fetch_resume_at);
         save_slim_opt(&self.pending_fetch, &mut w);
+        // Instruction source: execute mode saves the emulator's
+        // architectural state; replay mode embeds the full sealed trace
+        // plus the player's cursor, so the snapshot stays self-contained
+        // either way.
+        match &self.source {
+            crate::sim::InstSource::Execute(emu) => {
+                w.put_u8(0);
+                emu.save_state(&mut w);
+            }
+            crate::sim::InstSource::Replay { trace, player } => {
+                w.put_u8(1);
+                w.put_bytes(trace.as_bytes());
+                player.save_cursor(&mut w);
+            }
+        }
         // Unit state.
-        self.emu.save_state(&mut w);
         self.window.save_state(&mut w);
         self.lsq.save_state(&mut w);
         self.fus.save_state(&mut w);
@@ -262,7 +278,23 @@ impl Simulator {
         } else {
             None
         };
-        sim.emu.load_state(&mut r)?;
+        match r.get_u8()? {
+            0 => match &mut sim.source {
+                crate::sim::InstSource::Execute(emu) => emu.load_state(&mut r)?,
+                crate::sim::InstSource::Replay { .. } => unreachable!("build() is execute-mode"),
+            },
+            1 => {
+                let trace = crate::CommittedTrace::from_bytes(r.get_bytes()?)?;
+                let mut player = trace.player();
+                player.load_cursor(&mut r)?;
+                sim.source = crate::sim::InstSource::Replay { trace, player };
+            }
+            tag => {
+                return Err(SimError::Snapshot {
+                    detail: format!("unknown instruction-source tag {tag} (expected 0 or 1)"),
+                })
+            }
+        }
         sim.window.load_state(&mut r, program.text())?;
         sim.lsq.load_state(&mut r)?;
         sim.fus.load_state(&mut r)?;

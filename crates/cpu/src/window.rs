@@ -57,6 +57,10 @@ struct Dependent {
 #[derive(Debug)]
 struct Entry {
     di: DynInst,
+    /// Issue/commit-relevant instruction facts, decoded once at
+    /// dispatch so the per-cycle loops read a few cached bytes instead
+    /// of re-matching (and copying) the full record.
+    meta: InstMeta,
     state: State,
     remaining_deps: u32,
     /// Outstanding producers of the store's base register; when this
@@ -65,6 +69,44 @@ struct Entry {
     addr_deps: u32,
     dependents: Vec<Dependent>,
     access_done: bool, // stores: cache access performed (commit gate)
+}
+
+/// Pre-decoded instruction facts the issue and commit stages consult
+/// every cycle. Derived (not stored) state: snapshots persist only the
+/// instruction record and rebuild this on load.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InstMeta {
+    /// Load or store.
+    pub mem: bool,
+    /// Store (implies `mem`).
+    pub store: bool,
+    /// The `halt` instruction (ends the run at commit).
+    pub halt: bool,
+    /// Functional-unit class for non-memory issue.
+    pub class: hbdc_isa::FuClass,
+}
+
+impl InstMeta {
+    fn of(inst: &Inst) -> Self {
+        Self {
+            mem: inst.is_mem(),
+            store: inst.is_store(),
+            halt: matches!(inst, Inst::Halt),
+            class: inst.fu_class(),
+        }
+    }
+}
+
+/// A retired entry as yielded by
+/// [`commit_compact_into`](Window::commit_compact_into): the sequence
+/// number plus the cached instruction facts commit bookkeeping needs,
+/// in place of a copy of the full instruction record.
+#[derive(Debug, Clone, Copy)]
+pub struct Retired {
+    /// Program-order sequence number.
+    pub seq: u64,
+    /// Pre-decoded instruction facts.
+    pub meta: InstMeta,
 }
 
 fn reg_slot(r: ArchReg) -> usize {
@@ -207,11 +249,12 @@ impl Window {
         let expected = self.base_seq + self.entries.len() as u64;
         assert_eq!(di.seq, expected, "dispatch out of program order");
 
-        let is_store = di.inst.is_store();
+        let meta = InstMeta::of(&di.inst);
+        let is_store = meta.store;
         let base = di.inst.mem_base().map(hbdc_isa::ArchReg::Int);
         let mut remaining = 0u32;
         let mut addr_deps = 0u32;
-        for u in di.inst.uses() {
+        di.inst.for_each_use(|u| {
             if let Some(prod_seq) = self.producer[reg_slot(u)] {
                 if prod_seq >= self.base_seq {
                     let prod = self.entry_mut(prod_seq);
@@ -225,7 +268,7 @@ impl Window {
                     }
                 }
             }
-        }
+        });
         if let Some(d) = di.inst.def() {
             self.producer[reg_slot(d)] = Some(di.seq);
         }
@@ -241,6 +284,7 @@ impl Window {
         };
         self.entries.push_back(Entry {
             di,
+            meta,
             state,
             remaining_deps: remaining,
             addr_deps,
@@ -325,6 +369,13 @@ impl Window {
     /// The instruction record at `seq`.
     pub fn inst(&self, seq: u64) -> &DynInst {
         &self.entry(seq).di
+    }
+
+    /// The cached instruction facts for `seq` — what the issue stage
+    /// reads each cycle instead of copying the record out and
+    /// re-matching the opcode.
+    pub fn meta(&self, seq: u64) -> InstMeta {
+        self.entry(seq).meta
     }
 
     /// Marks `seq` issued. `complete_at` is the cycle its result appears,
@@ -461,29 +512,46 @@ impl Window {
         c
     }
 
-    /// Retires up to `max` instructions from the front, in order, into
-    /// `out` (cleared first). An entry retires if it is Done and, for
-    /// stores, its cache access has been performed.
-    pub fn commit_into(&mut self, max: u32, out: &mut Vec<DynInst>) {
+    /// Shared retirement walk: pops up to `max` front entries that are
+    /// Done (and, for stores, access-performed), pushing `f(&entry)`
+    /// into `out` (cleared first) for each.
+    fn commit_with<T>(&mut self, max: u32, out: &mut Vec<T>, f: impl Fn(&Entry) -> T) {
         out.clear();
         while out.len() < max as usize {
             match self.entries.front() {
                 Some(e) if e.state == State::Done => {
-                    if e.di.inst.is_store() && !e.access_done {
+                    if e.meta.store && !e.access_done {
                         break;
                     }
                     let e = self.entries.pop_front().expect("front checked");
                     self.base_seq += 1;
+                    out.push(f(&e));
                     if e.dependents.capacity() > 0 {
                         let mut deps = e.dependents;
                         deps.clear();
                         self.dep_pool.push(deps);
                     }
-                    out.push(e.di);
                 }
                 _ => break,
             }
         }
+    }
+
+    /// Retires up to `max` instructions from the front, in order, into
+    /// `out` (cleared first). An entry retires if it is Done and, for
+    /// stores, its cache access has been performed.
+    pub fn commit_into(&mut self, max: u32, out: &mut Vec<DynInst>) {
+        self.commit_with(max, out, |e| e.di);
+    }
+
+    /// Like [`commit_into`](Self::commit_into), but yields only each
+    /// retired entry's sequence number and cached instruction facts —
+    /// the simulator's hot path, which never needs the full record.
+    pub fn commit_compact_into(&mut self, max: u32, out: &mut Vec<Retired>) {
+        self.commit_with(max, out, |e| Retired {
+            seq: e.di.seq,
+            meta: e.meta,
+        });
     }
 
     /// Retires up to `max` instructions from the front, in order,
@@ -581,6 +649,7 @@ impl Window {
             }
             let access_done = r.get_bool()?;
             self.entries.push_back(Entry {
+                meta: InstMeta::of(&di.inst),
                 di,
                 state,
                 remaining_deps,

@@ -347,48 +347,56 @@ impl Inst {
         }
     }
 
-    /// The architectural registers this instruction reads.
+    /// Calls `f` for each architectural register this instruction
+    /// reads, in operand order — the allocation-free core of
+    /// [`uses`](Self::uses), which dependence analysis runs once per
+    /// dispatched instruction.
+    ///
+    /// Reads of `r0` are omitted (always-ready constant zero).
+    pub fn for_each_use(&self, mut f: impl FnMut(ArchReg)) {
+        fn int(f: &mut impl FnMut(ArchReg), r: Reg) {
+            if !r.is_zero() {
+                f(ArchReg::Int(r));
+            }
+        }
+        match *self {
+            Inst::Alu { rs, rt, .. } => {
+                int(&mut f, rs);
+                int(&mut f, rt);
+            }
+            Inst::AluImm { rs, .. } => int(&mut f, rs),
+            Inst::Fpu { fs, ft, .. } | Inst::FpCmp { fs, ft, .. } => {
+                f(ArchReg::Fp(fs));
+                f(ArchReg::Fp(ft));
+            }
+            Inst::MovToFp { rs, .. } => int(&mut f, rs),
+            Inst::MovFromFp { fs, .. } => f(ArchReg::Fp(fs)),
+            Inst::Load { base, .. } | Inst::FLoad { base, .. } => int(&mut f, base),
+            Inst::Store { rs, base, .. } => {
+                int(&mut f, rs);
+                int(&mut f, base);
+            }
+            Inst::FStore { fs, base, .. } => {
+                f(ArchReg::Fp(fs));
+                int(&mut f, base);
+            }
+            Inst::Branch { rs, rt, .. } => {
+                int(&mut f, rs);
+                int(&mut f, rt);
+            }
+            Inst::JumpReg { rs } => int(&mut f, rs),
+            Inst::Jump { .. } | Inst::JumpAndLink { .. } | Inst::Nop | Inst::Halt => {}
+        }
+    }
+
+    /// The architectural registers this instruction reads, as a fresh
+    /// vector (convenience wrapper over
+    /// [`for_each_use`](Self::for_each_use)).
     ///
     /// Reads of `r0` are omitted (always-ready constant zero).
     pub fn uses(&self) -> Vec<ArchReg> {
-        fn int(out: &mut Vec<ArchReg>, r: Reg) {
-            if !r.is_zero() {
-                out.push(ArchReg::Int(r));
-            }
-        }
         let mut out = Vec::with_capacity(2);
-        match *self {
-            Inst::Alu { rs, rt, .. } => {
-                int(&mut out, rs);
-                int(&mut out, rt);
-            }
-            Inst::AluImm { rs, .. } => int(&mut out, rs),
-            Inst::Fpu { fs, ft, .. } => {
-                out.push(ArchReg::Fp(fs));
-                out.push(ArchReg::Fp(ft));
-            }
-            Inst::FpCmp { fs, ft, .. } => {
-                out.push(ArchReg::Fp(fs));
-                out.push(ArchReg::Fp(ft));
-            }
-            Inst::MovToFp { rs, .. } => int(&mut out, rs),
-            Inst::MovFromFp { fs, .. } => out.push(ArchReg::Fp(fs)),
-            Inst::Load { base, .. } | Inst::FLoad { base, .. } => int(&mut out, base),
-            Inst::Store { rs, base, .. } => {
-                int(&mut out, rs);
-                int(&mut out, base);
-            }
-            Inst::FStore { fs, base, .. } => {
-                out.push(ArchReg::Fp(fs));
-                int(&mut out, base);
-            }
-            Inst::Branch { rs, rt, .. } => {
-                int(&mut out, rs);
-                int(&mut out, rt);
-            }
-            Inst::JumpReg { rs } => int(&mut out, rs),
-            Inst::Jump { .. } | Inst::JumpAndLink { .. } | Inst::Nop | Inst::Halt => {}
-        }
+        self.for_each_use(|r| out.push(r));
         out
     }
 

@@ -192,6 +192,27 @@ impl StateWriter {
         }
     }
 
+    /// Appends a `u64` as an LEB128 varint (1–10 bytes, short for small
+    /// values) — the workhorse of the trace record encoding, where most
+    /// deltas fit in one or two bytes.
+    pub fn put_varint_u64(&mut self, mut v: u64) {
+        loop {
+            let byte = (v & 0x7f) as u8;
+            v >>= 7;
+            if v == 0 {
+                self.buf.push(byte);
+                return;
+            }
+            self.buf.push(byte | 0x80);
+        }
+    }
+
+    /// Appends an `i64` as a zigzag-mapped varint, so small deltas of
+    /// either sign encode in one byte.
+    pub fn put_varint_i64(&mut self, v: i64) {
+        self.put_varint_u64(zigzag_encode(v));
+    }
+
     /// Appends a length-prefixed byte string.
     pub fn put_bytes(&mut self, v: &[u8]) {
         self.put_u64(v.len() as u64);
@@ -309,6 +330,33 @@ impl<'a> StateReader<'a> {
         })
     }
 
+    /// Reads an LEB128 varint `u64` written by
+    /// [`StateWriter::put_varint_u64`].
+    pub fn get_varint_u64(&mut self) -> Result<u64, SnapError> {
+        let mut v = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.get_u8()?;
+            if shift == 63 && byte > 1 {
+                return Err(SnapError::Corrupt("varint overflows u64".into()));
+            }
+            v |= u64::from(byte & 0x7f) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+            if shift > 63 {
+                return Err(SnapError::Corrupt("varint longer than 10 bytes".into()));
+            }
+        }
+    }
+
+    /// Reads a zigzag varint `i64` written by
+    /// [`StateWriter::put_varint_i64`].
+    pub fn get_varint_i64(&mut self) -> Result<i64, SnapError> {
+        Ok(zigzag_decode(self.get_varint_u64()?))
+    }
+
     /// Reads a length-prefixed byte string.
     pub fn get_bytes(&mut self) -> Result<Vec<u8>, SnapError> {
         let n = self.get_usize()?;
@@ -337,6 +385,18 @@ impl<'a> StateReader<'a> {
             )))
         }
     }
+}
+
+/// Maps an `i64` onto a `u64` with small magnitudes of either sign near
+/// zero (`0, -1, 1, -2, …` → `0, 1, 2, 3, …`), so varint encoding stays
+/// short for signed deltas.
+pub fn zigzag_encode(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag_encode`].
+pub fn zigzag_decode(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
 }
 
 /// Container header size: magic (4) + version (4) + length (8) + checksum (8).
@@ -461,6 +521,62 @@ mod tests {
         assert_eq!(r.get_bytes().unwrap(), vec![1, 2, 3]);
         assert_eq!(r.get_str().unwrap(), "hello");
         r.expect_end().unwrap();
+    }
+
+    #[test]
+    fn varint_roundtrip_across_magnitudes() {
+        let mut w = StateWriter::new();
+        let us = [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX];
+        let is = [0i64, 1, -1, 63, -64, 64, -65, i64::MAX, i64::MIN];
+        for &v in &us {
+            w.put_varint_u64(v);
+        }
+        for &v in &is {
+            w.put_varint_i64(v);
+        }
+        let bytes = w.into_bytes();
+        let mut r = StateReader::new(&bytes);
+        for &v in &us {
+            assert_eq!(r.get_varint_u64().unwrap(), v);
+        }
+        for &v in &is {
+            assert_eq!(r.get_varint_i64().unwrap(), v);
+        }
+        r.expect_end().unwrap();
+    }
+
+    #[test]
+    fn varint_is_compact_for_small_values() {
+        let mut w = StateWriter::new();
+        w.put_varint_u64(5);
+        w.put_varint_i64(-3);
+        assert_eq!(w.len(), 2);
+    }
+
+    #[test]
+    fn varint_rejects_overflow_and_truncation() {
+        // 11 continuation bytes: longer than any valid u64 varint.
+        let mut r = StateReader::new(&[0x80; 11]);
+        assert!(matches!(r.get_varint_u64(), Err(SnapError::Corrupt(_))));
+        // 10th byte carrying bits beyond the 64th overflows.
+        let mut r = StateReader::new(&[0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x7f]);
+        assert!(matches!(r.get_varint_u64(), Err(SnapError::Corrupt(_))));
+        // A dangling continuation bit is truncation, not a panic.
+        let mut r = StateReader::new(&[0x80]);
+        assert!(matches!(
+            r.get_varint_u64(),
+            Err(SnapError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn zigzag_is_a_bijection_near_zero() {
+        for (i, v) in [0i64, -1, 1, -2, 2, -3].iter().enumerate() {
+            assert_eq!(zigzag_encode(*v), i as u64);
+            assert_eq!(zigzag_decode(i as u64), *v);
+        }
+        assert_eq!(zigzag_decode(zigzag_encode(i64::MIN)), i64::MIN);
+        assert_eq!(zigzag_decode(zigzag_encode(i64::MAX)), i64::MAX);
     }
 
     #[test]

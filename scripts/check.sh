@@ -21,6 +21,9 @@ cargo test -p hbdc-cpu -p hbdc-bench --features audit -q
 echo "== kill-and-resume integration test"
 scripts/resume_test.sh
 
+echo "== trace round-trip (capture / info / replay == execute)"
+scripts/trace_roundtrip.sh
+
 echo "== throughput regression guard (HBDC_SKIP_PERF=1 to skip)"
 scripts/perf_guard.sh
 

@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
 # Throughput regression guard: re-measures simulator throughput with the
-# `throughput` bin and fails if cycles/sec drifts more than ±15% from
-# the checked-in baseline in BENCH_throughput.json.
+# `throughput` bin and fails if the aggregate cycles/sec — or any single
+# benchmark's cycles/sec — drifts more than ±15% from the checked-in
+# baseline in BENCH_throughput.json. Gating per `benchmarks[]` entry
+# means a regression confined to one workload class (say, the slow FP
+# stencils) fails CI even when the aggregate hides it.
 #
 # Set HBDC_SKIP_PERF=1 to skip (e.g. on a loaded or throttled host).
 set -euo pipefail
@@ -18,6 +21,30 @@ read_rate() {
     grep -m1 '^  "cycles_per_sec":' "$1" | grep -o '[0-9]\+'
 }
 
+# Emits "name rate" pairs: the aggregate first, then one line per
+# benchmarks[] entry. Each entry is a single JSON line, so one sed
+# pattern recovers (bench, cycles_per_sec) without a JSON parser.
+rates() {
+    echo "aggregate $(read_rate "$1")"
+    sed -n 's/.*"bench": "\([^"]*\)".*"cycles_per_sec": \([0-9]\+\).*/\1 \2/p' "$1"
+}
+
+# check_rates <baseline.json> <measured.json>: prints one line per
+# entry (aggregate or benchmark) outside the ±15% band — including a
+# benchmark missing from the measurement, which means its cells failed
+# — and prints nothing when every entry is within the band.
+check_rates() {
+    awk -v tol=0.15 '
+        NR == FNR { meas[$1] = $2; next }
+        {
+            if (!($1 in meas)) { printf "%s missing\n", $1; next }
+            d = (meas[$1] - $2) / $2
+            if (d > tol || d < -tol)
+                printf "%s %d vs baseline %d (%+.1f%%)\n", $1, meas[$1], $2, d * 100
+        }
+    ' <(rates "$2") <(rates "$1")
+}
+
 baseline=$(read_rate BENCH_throughput.json)
 [ -n "$baseline" ] || { echo "FAIL: no cycles_per_sec in BENCH_throughput.json" >&2; exit 1; }
 
@@ -26,18 +53,37 @@ tmp="$(mktemp -d "${TMPDIR:-/tmp}/hbdc-perf.XXXXXX")"
 trap 'rm -rf "$tmp"' EXIT
 bin="$PWD/target/release/throughput"
 
-# The measurement is host-timing-sensitive; allow one retry before
-# declaring a regression so a single noisy run can't fail the gate.
+# Traces are captured once into a cache directory and replayed on every
+# attempt. CI persists the corpus across runs via HBDC_TRACE_CACHE so
+# the guard measures replay-mode throughput with a warm cache — the
+# same regime the checked-in baseline was recorded under.
+trace_cache="${HBDC_TRACE_CACHE:-$tmp/traces}"
+
+# The measurement is host-timing-sensitive: a single run can push one
+# small benchmark past the band by noise alone. A clean attempt passes
+# outright; otherwise the gate fails only on drift that reproduces in
+# the SAME entry across two attempts — a band miss that moves between
+# benchmarks is host noise, a real regression sits still.
+prev=""
 for attempt in 1 2; do
-    (cd "$tmp" && "$bin" --scale small >/dev/null)
+    (cd "$tmp" && "$bin" --scale small --trace-cache "$trace_cache" >/dev/null)
     rate=$(read_rate "$tmp/BENCH_throughput.json")
-    echo "measured $rate cycles/sec (baseline $baseline, attempt $attempt)"
-    if awk -v b="$baseline" -v n="$rate" \
-        'BEGIN { d = (n - b) / b; exit (d > 0.15 || d < -0.15) ? 1 : 0 }'; then
-        echo "perf guard passed: within ±15% of baseline"
+    echo "measured $rate cycles/sec aggregate (baseline $baseline, attempt $attempt)"
+    viol="$(check_rates BENCH_throughput.json "$tmp/BENCH_throughput.json")"
+    if [ -z "$viol" ]; then
+        echo "perf guard passed: aggregate and every benchmark within ±15% of baseline"
         exit 0
     fi
+    echo "$viol" | sed 's/^/  /'
+    if [ -n "$prev" ]; then
+        persistent=$(comm -12 <(echo "$prev" | awk '{print $1}' | sort) \
+                              <(echo "$viol" | awk '{print $1}' | sort) | tr '\n' ' ')
+        if [ -z "${persistent// /}" ]; then
+            echo "perf guard passed: no drift reproduced in the same entry across attempts"
+            exit 0
+        fi
+        echo "FAIL: ±15% drift reproduced in both attempts: $persistent" >&2
+        exit 1
+    fi
+    prev="$viol"
 done
-
-echo "FAIL: throughput $rate cycles/sec is outside ±15% of baseline $baseline" >&2
-exit 1

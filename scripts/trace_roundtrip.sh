@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Trace round-trip gate: captures an HBTR trace with `hbdc-sim trace
+# capture`, verifies `trace info` reads the sealed file back, and checks
+# that a timing-only replay of the trace reports bit-identically to an
+# execute-mode run of the same program under each of the four port
+# models. This is the shell-level counterpart of the replay_golden test
+# suite: it exercises the actual CLI surface and the on-disk format.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -q --bin hbdc-sim
+bin="$PWD/target/release/hbdc-sim"
+tmp="$(mktemp -d "${TMPDIR:-/tmp}/hbdc-trace.XXXXXX")"
+trap 'rm -rf "$tmp"' EXIT
+
+"$bin" trace capture bench:li --scale test -o "$tmp/li.hbtr" >/dev/null
+"$bin" trace info "$tmp/li.hbtr" | grep -q 'complete *yes' || {
+    echo "FAIL: trace info does not report a complete capture" >&2
+    exit 1
+}
+
+# A flipped byte in the sealed stream must be a typed error, not a panic
+# or a silent misparse.
+cp "$tmp/li.hbtr" "$tmp/corrupt.hbtr"
+printf '\xff' | dd of="$tmp/corrupt.hbtr" bs=1 seek=64 conv=notrunc status=none
+if "$bin" trace info "$tmp/corrupt.hbtr" >/dev/null 2>"$tmp/err.txt"; then
+    echo "FAIL: corrupted trace was accepted" >&2
+    exit 1
+fi
+grep -qi 'hbdc-sim:' "$tmp/err.txt" || {
+    echo "FAIL: corrupted trace did not produce a typed CLI error" >&2
+    exit 1
+}
+
+# The first report line names the input (program path vs trace path), so
+# the bit-identity comparison starts at line 2.
+for port in ideal:4 bank:4 lbic:4x2 repl:2; do
+    "$bin" run bench:li --scale test --port "$port" | tail -n +2 >"$tmp/exec.txt"
+    "$bin" trace replay "$tmp/li.hbtr" --port "$port" | tail -n +2 >"$tmp/replay.txt"
+    diff -u "$tmp/exec.txt" "$tmp/replay.txt" || {
+        echo "FAIL: replay diverges from execute under $port" >&2
+        exit 1
+    }
+done
+echo "trace round-trip passed: replay bit-identical to execute for 4 port models"

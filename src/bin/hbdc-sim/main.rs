@@ -7,11 +7,21 @@
 //!              [--audit] [--max-cycles N] [--inject SEED]
 //!              [--checkpoint PATH [--every N]]
 //! hbdc-sim resume <snapshot> [--checkpoint PATH] [--every N]
+//! hbdc-sim trace capture <prog.s|prog.hbo|bench:NAME> -o <trace.hbtr>
+//!              [--warmup N] [--cap N] [--scale test|small|full]
+//! hbdc-sim trace info <trace.hbtr>           print HBTR header + stream stats
+//! hbdc-sim trace replay <trace.hbtr> [--port SPEC] [--ruu N] [--lsq N] ...
 //! hbdc-sim asm <prog.s> -o <prog.hbo>        assemble to a binary object
 //! hbdc-sim disasm <prog.s|prog.hbo>          print assembler-compatible text
 //! hbdc-sim analyze <prog.s|bench:NAME>       stream locality + reuse report
 //! hbdc-sim bench-list                        list the SPEC95 analogs
 //! ```
+//!
+//! `trace capture` runs the functional model once and seals the committed
+//! stream into an HBTR file; `trace replay` then drives the timing model
+//! from that file under any port configuration, producing a report
+//! bit-identical to an execute-mode run of the same program — the
+//! expensive functional pass is paid once, not once per configuration.
 //!
 //! With `--checkpoint`, the run writes a crash-safe snapshot of the full
 //! simulator state every `--every` cycles (default 1 000 000) and on
@@ -39,6 +49,12 @@ fn usage() -> ExitCode {
          \x20          [--audit] [--max-cycles N] [--inject SEED]\n\
          \x20          [--checkpoint PATH [--every N]]\n  \
          hbdc-sim resume <snapshot> [--checkpoint PATH] [--every N]\n  \
+         hbdc-sim trace capture <prog.s|prog.hbo|bench:NAME> -o <trace.hbtr>\n\
+         \x20          [--warmup N] [--cap N] [--scale test|small|full]\n  \
+         hbdc-sim trace info <trace.hbtr>\n  \
+         hbdc-sim trace replay <trace.hbtr> [--port SPEC] [--ruu N] [--lsq N]\n\
+         \x20          [--ls-units N] [--audit] [--max-cycles N]\n\
+         \x20          [--checkpoint PATH [--every N]]\n  \
          hbdc-sim asm <prog.s> -o <prog.hbo>\n  \
          hbdc-sim disasm <prog.s|prog.hbo>\n  \
          hbdc-sim analyze <prog.s|bench:NAME> [--banks N] [--scale ...]\n  \
@@ -140,6 +156,130 @@ fn cmd_resume(args: &[String]) -> Result<(), String> {
     let path = flag_value(args, "--checkpoint").unwrap_or_else(|| target.clone());
     let every = checkpoint_every(args)?;
     let report = drive(&mut sim, Some(&(PathBuf::from(path), every)))?;
+    let (branches, mispredicts) = sim.branch_stats();
+    print_report(target, &report, branches, mispredicts);
+    Ok(())
+}
+
+/// Dispatches `hbdc-sim trace capture|info|replay`.
+fn cmd_trace(args: &[String]) -> Result<(), String> {
+    let sub = args
+        .first()
+        .ok_or("trace expects a subcommand: capture, info, or replay")?;
+    let rest = &args[1..];
+    match sub.as_str() {
+        "capture" => cmd_trace_capture(rest),
+        "info" => cmd_trace_info(rest),
+        "replay" => cmd_trace_replay(rest),
+        other => Err(format!(
+            "unknown trace subcommand `{other}` (expected capture, info, or replay)"
+        )),
+    }
+}
+
+/// Runs the functional model once and seals the committed stream into an
+/// HBTR trace file. The capture is the execute-once half of trace-driven
+/// simulation: every later `trace replay` of the file skips functional
+/// execution entirely.
+fn cmd_trace_capture(args: &[String]) -> Result<(), String> {
+    let target = args.first().ok_or("missing program argument")?;
+    let output = flag_value(args, "-o").ok_or("missing -o <trace.hbtr>")?;
+    let program = load_program(target, args)?;
+    let warmup = parse_num(args, "--warmup", 0)?;
+    let cap = match flag_value(args, "--cap") {
+        None => None,
+        Some(v) => Some(
+            v.parse::<u64>()
+                .map_err(|_| format!("--cap expects an instruction count, got `{v}`"))?,
+        ),
+    };
+    let started = std::time::Instant::now();
+    let trace =
+        hbdc::cpu::CommittedTrace::capture(&program, warmup, cap).map_err(|e| e.to_string())?;
+    trace
+        .write_to_path(Path::new(&output))
+        .map_err(|e| e.to_string())?;
+    println!(
+        "{output}: {} records ({} loads, {} stores), warmup {}, {} bytes, captured in {:.2}s{}",
+        trace.records(),
+        trace.loads(),
+        trace.stores(),
+        trace.warmup_insts(),
+        trace.as_bytes().len(),
+        started.elapsed().as_secs_f64(),
+        if trace.is_complete() {
+            ""
+        } else {
+            " [truncated by --cap; replay will refuse this trace]"
+        }
+    );
+    Ok(())
+}
+
+/// Prints the HBTR header and stream statistics of a sealed trace file
+/// without replaying it.
+fn cmd_trace_info(args: &[String]) -> Result<(), String> {
+    let input = args.first().ok_or("missing trace file")?;
+    let trace =
+        hbdc::cpu::CommittedTrace::read_from_path(Path::new(input)).map_err(|e| e.to_string())?;
+    let program = trace.program();
+    println!("trace          {input}");
+    println!(
+        "format         HBTR v{} ({} bytes, checksum verified)",
+        hbdc::cpu::TRACE_VERSION,
+        trace.as_bytes().len()
+    );
+    println!(
+        "program        {} instructions, {} data bytes, fingerprint {:016x}",
+        program.text().len(),
+        program.data().len(),
+        trace.program_fingerprint()
+    );
+    println!(
+        "warmup         {} instructions skipped",
+        trace.warmup_insts()
+    );
+    println!(
+        "records        {} committed ({} loads, {} stores)",
+        trace.records(),
+        trace.loads(),
+        trace.stores()
+    );
+    println!(
+        "complete       {}",
+        if trace.is_complete() {
+            "yes (ends at halt)"
+        } else {
+            "no (capture cap hit; not replayable)"
+        }
+    );
+    Ok(())
+}
+
+/// Replays a captured trace through the timing model. The report is
+/// bit-identical to an execute-mode run of the same program with the
+/// same warmup — only the host time differs.
+fn cmd_trace_replay(args: &[String]) -> Result<(), String> {
+    let target = args.first().ok_or("missing trace file")?;
+    let trace =
+        hbdc::cpu::CommittedTrace::read_from_path(Path::new(target)).map_err(|e| e.to_string())?;
+    let port = parse_port(&flag_value(args, "--port").unwrap_or_else(|| "lbic:4x2".into()))?;
+    let cfg = CpuConfig {
+        ruu_size: parse_num(args, "--ruu", 1024)? as usize,
+        lsq_size: parse_num(args, "--lsq", 512)? as usize,
+        ls_units: parse_num(args, "--ls-units", 64)? as u32,
+        max_insts: parse_num(args, "--max-insts", u64::MAX)?,
+        max_cycles: parse_num(args, "--max-cycles", u64::MAX)?,
+        audit: args.iter().any(|a| a == "--audit") || CpuConfig::default().audit,
+        // Replay must start at the trace's own measurement point.
+        warmup_insts: trace.warmup_insts(),
+        ..CpuConfig::default()
+    };
+    let checkpoint = checkpoint_from_args(args)?;
+    let hier_cfg = HierarchyConfig::default();
+    let mut sim =
+        Simulator::try_from_trace(&trace, cfg, hier_cfg, port).map_err(|e| e.to_string())?;
+    let report = drive(&mut sim, checkpoint.as_ref())?;
     let (branches, mispredicts) = sim.branch_stats();
     print_report(target, &report, branches, mispredicts);
     Ok(())
@@ -352,6 +492,7 @@ fn main() -> ExitCode {
     let result = match command.as_str() {
         "run" => cmd_run(rest),
         "resume" => cmd_resume(rest),
+        "trace" => cmd_trace(rest),
         "asm" => cmd_asm(rest),
         "disasm" => cmd_disasm(rest),
         "analyze" => cmd_analyze(rest),
