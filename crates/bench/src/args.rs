@@ -10,7 +10,7 @@
 use std::path::PathBuf;
 use std::time::Duration;
 
-use crate::runner::{MatrixOpts, TraceMode};
+use crate::runner::{MatrixOpts, TraceMode, WorkerSpec};
 use hbdc_workloads::{Benchmark, Scale};
 
 /// The argument following `flag` on the command line. Outer `None`: the
@@ -118,9 +118,12 @@ pub fn benches_from_args() -> Vec<Benchmark> {
 
 /// Reads the campaign options from `argv`: `--journal <path>`,
 /// `--resume <path>` (sets the journal path *and* resume mode),
-/// `--timeout-secs <N>`, `--trace-mode <execute|replay>`, and
-/// `--trace-cache <dir>`. Prints a usage message naming the offending
-/// flag and exits with status 2 on a malformed value.
+/// `--timeout-secs <N>`, `--trace-mode <execute|replay>`,
+/// `--trace-cache <dir>`, and the multi-process knobs — `--shard`,
+/// `--max-attempts <N>`, `--lease-ttl-secs <N>`, plus the hidden
+/// `--worker-cell`/`--worker-out`/`--worker-matrix` triple a shard
+/// supervisor passes to its subprocesses. Prints a usage message naming
+/// the offending flag and exits with status 2 on a malformed value.
 pub fn matrix_opts_from_args() -> MatrixOpts {
     let mut opts = MatrixOpts::default();
     if let Some(v) = flag_value("--journal") {
@@ -158,6 +161,46 @@ pub fn matrix_opts_from_args() -> MatrixOpts {
                 "--trace-cache needs a directory path, e.g. `--trace-cache results/traces`",
             ),
         }
+    }
+    opts.shard = flag_present("--shard");
+    if let Some(v) = flag_value("--max-attempts") {
+        let v = v.as_deref().unwrap_or("");
+        match v.parse::<u32>() {
+            Ok(n) if n > 0 => opts.max_attempts = n,
+            _ => usage_bail(&format!(
+                "--max-attempts needs a positive integer, got `{v}`"
+            )),
+        }
+    }
+    if let Some(v) = flag_value("--lease-ttl-secs") {
+        let v = v.as_deref().unwrap_or("");
+        match v.parse::<u64>() {
+            Ok(n) if n > 0 => opts.lease_ttl = Duration::from_secs(n),
+            _ => usage_bail(&format!(
+                "--lease-ttl-secs needs a positive whole number of seconds, got `{v}`"
+            )),
+        }
+    }
+    // The hidden worker triple: set only by a shard supervisor when it
+    // re-executes the binary for one cell. All three travel together.
+    let cell = flag_value("--worker-cell");
+    let out = flag_value("--worker-out");
+    let matrix = flag_value("--worker-matrix");
+    if cell.is_some() || out.is_some() || matrix.is_some() {
+        let cell = cell
+            .flatten()
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or_else(|| usage_bail("--worker-cell needs a cell index"));
+        let out = out
+            .flatten()
+            .filter(|p| !p.starts_with("--"))
+            .map(PathBuf::from)
+            .unwrap_or_else(|| usage_bail("--worker-out needs a file path"));
+        let matrix = matrix
+            .flatten()
+            .and_then(|v| u64::from_str_radix(&v, 16).ok())
+            .unwrap_or_else(|| usage_bail("--worker-matrix needs a 16-hex-digit fingerprint"));
+        opts.worker = Some(WorkerSpec { cell, out, matrix });
     }
     opts
 }

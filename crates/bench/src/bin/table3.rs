@@ -3,11 +3,15 @@
 //! as ports grow 1 → 16, for all ten benchmarks plus suite averages.
 //!
 //! Usage: `table3 [--scale test|small|full] [--bench <name>] [--threads N]
-//! [--csv] [--journal PATH | --resume PATH] [--timeout-secs N]`
+//! [--csv] [--journal PATH | --resume PATH] [--timeout-secs N] [--shard
+//! [--max-attempts N] [--lease-ttl-secs N]]`
 //!
 //! With `--journal`, every finished cell is logged crash-safely and
 //! Ctrl-C checkpoints in-flight cells; `--resume PATH` continues an
-//! interrupted campaign from its journal and cell checkpoints.
+//! interrupted campaign from its journal and cell checkpoints. With
+//! `--shard`, N such processes started on the same journal drain one
+//! campaign cooperatively (leased cells, isolated worker subprocesses,
+//! quarantine after `--max-attempts` failures — exit 3).
 
 use hbdc_bench::runner::{
     benches_from_args, csv_from_args, scale_from_args, simulate_matrix, table3_columns,

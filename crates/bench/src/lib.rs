@@ -5,10 +5,14 @@
 //! (`ablation_bankmap`, `ablation_policy`, `ablation_depth`). The shared
 //! machinery — building a benchmark, running it through the timing
 //! simulator under a port model, and rendering rows — lives here so the
-//! binaries and the Criterion benches stay thin.
+//! binaries and the Criterion benches stay thin. The multi-process
+//! campaign supervisor (journal leases, subprocess workers, quarantine)
+//! lives in the private `supervise` module and is reached through the
+//! `--shard` flag on any matrix binary.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod args;
 pub mod runner;
+pub(crate) mod supervise;

@@ -6,11 +6,16 @@ use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
 use hbdc_core::PortConfig;
-use hbdc_cpu::{CommittedTrace, CpuConfig, SimError, SimReport, SimSnapshot, Simulator};
+use hbdc_cpu::{
+    CacheLookup, CommittedTrace, CpuConfig, SimError, SimReport, SimSnapshot, Simulator,
+};
 use hbdc_mem::HierarchyConfig;
+use hbdc_snap::lock::{evict_corrupt, FileLock};
 use hbdc_snap::{fnv1a64, interrupt, write_atomic, StateWriter};
 use hbdc_stats::summary::arithmetic_mean;
 use hbdc_workloads::{Benchmark, Scale, Suite};
+
+use crate::supervise::{self, CellState, JournalState, ShardParams};
 
 /// Runs one benchmark under one port model and returns its report.
 ///
@@ -143,6 +148,11 @@ pub struct MatrixRun {
     pub reports: Vec<Vec<Option<SimReport>>>,
     /// One record per failed job (empty on a clean run).
     pub failures: Vec<JobFailure>,
+    /// One record per quarantined cell: in shard mode, a cell that failed
+    /// its whole `--max-attempts` budget (or timed out). The campaign
+    /// completed around these; rerunning with a larger `--max-attempts`
+    /// gives them fresh attempts.
+    pub quarantined: Vec<JobFailure>,
     /// Whether the run was cut short by an interrupt request (SIGINT on a
     /// journaled campaign): in-flight cells were checkpointed at a cycle
     /// boundary and the journal flushed, so a later `--resume` continues
@@ -158,21 +168,28 @@ pub struct MatrixRun {
 impl MatrixRun {
     /// Whether every job produced a report.
     pub fn is_complete(&self) -> bool {
-        self.failures.is_empty() && !self.interrupted
+        self.failures.is_empty() && self.quarantined.is_empty() && !self.interrupted
     }
 
-    /// Prints one line per failure to stderr (no-op on a clean run).
+    /// Prints one line per failed and per quarantined cell to stderr
+    /// (no-op on a clean run).
     pub fn print_failure_summary(&self) {
-        if self.failures.is_empty() {
-            return;
+        let total = self.reports.iter().map(Vec::len).sum::<usize>();
+        if !self.failures.is_empty() {
+            eprintln!("{} of {total} matrix jobs failed:", self.failures.len());
+            for f in &self.failures {
+                eprintln!("  {f}");
+            }
         }
-        eprintln!(
-            "{} of {} matrix jobs failed:",
-            self.failures.len(),
-            self.reports.iter().map(Vec::len).sum::<usize>()
-        );
-        for f in &self.failures {
-            eprintln!("  {f}");
+        if !self.quarantined.is_empty() {
+            eprintln!(
+                "{} of {total} matrix jobs quarantined (rerun with a larger \
+                 --max-attempts to retry them):",
+                self.quarantined.len()
+            );
+            for f in &self.quarantined {
+                eprintln!("  {f}");
+            }
         }
     }
 
@@ -190,6 +207,11 @@ impl MatrixRun {
             "matrix run incomplete: {:?}",
             self.failures
         );
+        assert!(
+            self.quarantined.is_empty(),
+            "matrix run has quarantined cells: {:?}",
+            self.quarantined
+        );
         self.reports
             .into_iter()
             .map(|row| row.into_iter().flatten().collect())
@@ -197,16 +219,19 @@ impl MatrixRun {
     }
 
     /// The exit code a binary should end with: 0 for a clean run, 1 if
-    /// any job failed (partial results were still printed), 130 — the
-    /// conventional SIGINT code — if the run was interrupted and
-    /// checkpointed.
+    /// any job failed (partial results were still printed), 3 if the only
+    /// incomplete cells are quarantined ones (the campaign is as done as
+    /// its attempt budget allows), 130 — the conventional SIGINT code —
+    /// if the run was interrupted and checkpointed.
     pub fn exit_code(&self) -> std::process::ExitCode {
         if self.interrupted {
             std::process::ExitCode::from(130)
-        } else if self.failures.is_empty() {
-            std::process::ExitCode::SUCCESS
-        } else {
+        } else if !self.failures.is_empty() {
             std::process::ExitCode::from(1)
+        } else if !self.quarantined.is_empty() {
+            std::process::ExitCode::from(3)
+        } else {
+            std::process::ExitCode::SUCCESS
         }
     }
 }
@@ -299,8 +324,24 @@ pub enum TraceMode {
     Execute,
 }
 
+/// Coordinates for the hidden worker-cell mode: a shard supervisor
+/// re-executes its own binary with `--worker-cell IDX --worker-out PATH
+/// --worker-matrix HEX` appended, and the child runs exactly that one
+/// matrix cell and reports through the out file. Not a user-facing
+/// interface; see `crate::supervise` for the protocol.
+#[derive(Debug, Clone)]
+pub struct WorkerSpec {
+    /// Flat matrix cell index (`bench * configs + config`) to run.
+    pub cell: usize,
+    /// Outcome file, written atomically on exit.
+    pub out: PathBuf,
+    /// The supervisor's matrix fingerprint; the worker recomputes its own
+    /// and refuses to run on a mismatch (binary rebuilt mid-campaign).
+    pub matrix: u64,
+}
+
 /// Campaign options for [`simulate_matrix_opts`].
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct MatrixOpts {
     /// Machine configuration for every cell.
     pub cpu_cfg: CpuConfig,
@@ -325,10 +366,39 @@ pub struct MatrixOpts {
     /// sharing the directory — skip the capture pass entirely. `None`
     /// keeps traces in memory for this campaign only.
     pub trace_cache: Option<PathBuf>,
+    /// Run as one of N cooperating shard processes draining the journal
+    /// at [`journal`](Self::journal) (required) together: cells are
+    /// claimed under heartbeat leases, each runs in a subprocess, and the
+    /// run returns once every cell is terminal campaign-wide. Start the
+    /// same command in several terminals (or on several machines sharing
+    /// a filesystem with sane rename semantics) to parallelize.
+    pub shard: bool,
+    /// Shard mode: attempts a cell gets before it is quarantined.
+    pub max_attempts: u32,
+    /// Shard mode: heartbeat TTL after which other processes may steal a
+    /// lease from an unresponsive owner.
+    pub lease_ttl: Duration,
+    /// Hidden worker-cell mode (set only by a shard supervisor when it
+    /// re-executes the binary); runs one cell and exits.
+    pub worker: Option<WorkerSpec>,
 }
 
-/// First line of every matrix run journal.
-const JOURNAL_HEADER: &str = "hbdc-journal v1";
+impl Default for MatrixOpts {
+    fn default() -> Self {
+        Self {
+            cpu_cfg: CpuConfig::default(),
+            timeout: None,
+            journal: None,
+            resume: false,
+            trace_mode: TraceMode::default(),
+            trace_cache: None,
+            shard: false,
+            max_attempts: supervise::DEFAULT_MAX_ATTEMPTS,
+            lease_ttl: supervise::DEFAULT_LEASE_TTL,
+            worker: None,
+        }
+    }
+}
 
 /// Cycle-chunk size for interruptible and timed jobs: large enough that
 /// the chunking overhead disappears into the noise, small enough that
@@ -339,7 +409,7 @@ const CHUNK_CYCLES: u64 = 4096;
 /// column labels and port parameters, and the machine configuration. A
 /// journal records the fingerprint it was written under, and resuming it
 /// under any other matrix is refused rather than silently mixing results.
-fn matrix_hash(
+pub(crate) fn matrix_hash(
     benches: &[Benchmark],
     scale: Scale,
     configs: &[(String, PortConfig)],
@@ -362,68 +432,61 @@ fn matrix_hash(
 
 /// Where a journaled run checkpoints cell `idx`'s in-flight simulator
 /// state on interrupt (deleted once the cell completes).
-fn cell_snap_path(journal: &Path, idx: usize) -> PathBuf {
+pub(crate) fn cell_snap_path(journal: &Path, idx: usize) -> PathBuf {
     let mut name = journal.as_os_str().to_owned();
     name.push(format!(".cell{idx}.snap"));
     PathBuf::from(name)
 }
 
-/// Folds a failure message onto one journal line (`\` / newline / tab
-/// escaped). Failure text is informational on resume — failed cells are
-/// re-run, not reloaded — so no unescape is needed.
-fn escape_error(s: &str) -> String {
-    s.replace('\\', "\\\\")
-        .replace('\n', "\\n")
-        .replace('\t', "\\t")
-}
-
-/// The campaign log: one `ok`/`fail` line per finished cell under a
-/// `(header, matrix-hash, cell-count)` preamble. [`flush`](Self::flush)
-/// atomically rewrites the whole file, so a kill at any instant leaves
+/// The single-process campaign log: the in-memory [`JournalState`] plus
+/// its path. [`flush`](Self::flush) atomically rewrites the whole file
+/// under the journal's advisory lock, so a kill at any instant leaves
 /// either the previous journal or the new one on disk — never a torn
-/// file.
+/// file — and a concurrent shard supervisor pointed at the same journal
+/// never reads mid-rename. The file format (journal v2) is shared with
+/// the multi-process supervisor in [`crate::supervise`].
 struct Journal {
     path: PathBuf,
-    hash: u64,
-    lines: Vec<Option<String>>,
+    state: JournalState,
 }
 
 impl Journal {
     fn new(path: PathBuf, hash: u64, total: usize) -> Self {
         Self {
             path,
-            hash,
-            lines: vec![None; total],
+            state: JournalState::fresh(hash, total),
         }
     }
 
     fn record_ok(&mut self, idx: usize, attempts: u32, report: &SimReport) {
-        self.lines[idx] = Some(format!("ok {idx} {attempts} {}", report.to_record()));
+        self.state.set_ok(idx, attempts, report.to_record());
     }
 
     fn record_fail(&mut self, idx: usize, attempts: u32, error: &str) {
-        self.lines[idx] = Some(format!("fail {idx} {attempts} {}", escape_error(error)));
+        // The single-process runner's retry policy (one in-line retry) has
+        // already run its course by the time a failure is recorded, so
+        // the cell is never quarantined here — a later --resume re-runs
+        // it immediately (no backoff deadline).
+        self.state
+            .set_fail(idx, attempts, 0, error.to_string(), u32::MAX);
     }
 
     fn flush(&self) -> Result<(), String> {
-        let mut out = format!(
-            "{JOURNAL_HEADER}\nmatrix {:016x}\ncells {}\n",
-            self.hash,
-            self.lines.len()
-        );
-        for line in self.lines.iter().flatten() {
-            out.push_str(line);
-            out.push('\n');
-        }
-        write_atomic(&self.path, out.as_bytes())
-            .map_err(|e| format!("journal {}: {e}", self.path.display()))
+        let lock = supervise::lock_path(&self.path);
+        let _lock = FileLock::exclusive(&lock)
+            .map_err(|e| format!("journal lock {}: {e}", lock.display()))?;
+        write_atomic(
+            &self.path,
+            supervise::render_journal(&self.state).as_bytes(),
+        )
+        .map_err(|e| format!("journal {}: {e}", self.path.display()))
     }
 }
 
 /// Parses and validates a journal for resumption: the header, matrix
 /// fingerprint, and cell count must all match this run. Returns the
-/// completed (`ok`) cells; `fail` cells are dropped so the resume re-runs
-/// them.
+/// completed (`ok`) cells; `fail`, `quar`, and stale `lease` cells are
+/// dropped so the resume re-runs them.
 fn load_journal(
     path: &Path,
     hash: u64,
@@ -431,67 +494,13 @@ fn load_journal(
 ) -> Result<Vec<Option<(SimReport, u32)>>, String> {
     let text = std::fs::read_to_string(path)
         .map_err(|e| format!("cannot read journal {}: {e}", path.display()))?;
-    let mut lines = text.lines();
-    match lines.next() {
-        Some(JOURNAL_HEADER) => {}
-        Some(other) => {
-            return Err(format!(
-                "{}: not a matrix journal (first line `{other}`, expected `{JOURNAL_HEADER}`)",
-                path.display()
-            ))
-        }
-        None => return Err(format!("{}: journal is empty", path.display())),
-    }
-    let found_hash = lines
-        .next()
-        .and_then(|l| l.strip_prefix("matrix "))
-        .and_then(|h| u64::from_str_radix(h, 16).ok())
-        .ok_or_else(|| format!("{}: malformed `matrix` header line", path.display()))?;
-    if found_hash != hash {
-        return Err(format!(
-            "{}: journal fingerprint {found_hash:016x} does not match this run's {hash:016x} \
-             (different benchmarks, scale, port configs, or machine config); refusing to resume",
-            path.display()
-        ));
-    }
-    let cells = lines
-        .next()
-        .and_then(|l| l.strip_prefix("cells "))
-        .and_then(|n| n.parse::<usize>().ok())
-        .ok_or_else(|| format!("{}: malformed `cells` header line", path.display()))?;
-    if cells != total {
-        return Err(format!(
-            "{}: journal covers {cells} cells, this run has {total}",
-            path.display()
-        ));
-    }
+    let state = supervise::parse_journal(&text, path, hash, total)?;
     let mut out: Vec<Option<(SimReport, u32)>> = vec![None; total];
-    for (lineno, line) in lines.enumerate() {
-        if line.is_empty() {
-            continue;
-        }
-        let bad = |what: &str| format!("{}:{}: {what}: `{line}`", path.display(), lineno + 4);
-        let mut parts = line.splitn(4, ' ');
-        let tag = parts.next().unwrap_or("");
-        let idx: usize = parts
-            .next()
-            .and_then(|s| s.parse().ok())
-            .ok_or_else(|| bad("malformed cell index"))?;
-        if idx >= total {
-            return Err(bad("cell index out of range"));
-        }
-        let attempts: u32 = parts
-            .next()
-            .and_then(|s| s.parse().ok())
-            .ok_or_else(|| bad("malformed attempt count"))?;
-        let rest = parts.next().unwrap_or("");
-        match tag {
-            "ok" => {
-                let report = SimReport::from_record(rest).map_err(|e| bad(&e))?;
-                out[idx] = Some((report, attempts));
-            }
-            "fail" => {} // re-run failed cells on resume
-            _ => return Err(bad("unknown record tag")),
+    for (idx, cell) in state.cells.iter().enumerate() {
+        if let CellState::Ok { attempts, record } = cell {
+            let report = SimReport::from_record(record)
+                .map_err(|e| format!("{}: cell {idx}: {e}", path.display()))?;
+            out[idx] = Some((report, *attempts));
         }
     }
     Ok(out)
@@ -512,7 +521,12 @@ fn trace_cache_path(dir: &Path, bench: &str, scale: Scale, warmup: u64, fp: u64)
 /// `None` where capture failed, leaving those cells to execute
 /// functionally and report the real error — and the wall-clock seconds
 /// the phase took, which callers report separately from replay time.
-fn capture_traces(
+///
+/// A corrupt or truncated cache file is **evicted** (renamed to
+/// `*.corrupt`, with one warning) and the trace recaptured, so one bad
+/// byte costs one capture — not a warning storm or a silent functional
+/// re-parse on every later campaign.
+pub(crate) fn capture_traces(
     benches: &[Benchmark],
     wanted: &[bool],
     scale: Scale,
@@ -536,12 +550,24 @@ fn capture_traces(
         let fp = fnv1a64(&hbdc_isa::object::to_bytes(&program));
         let path = cache.map(|d| trace_cache_path(d, bench.name(), scale, warmup, fp));
         if let Some(p) = &path {
-            if let Ok(t) = CommittedTrace::read_from_path(p) {
-                // The fingerprint is in the file name, but a renamed or
-                // hand-edited file must still not drive a replay.
-                if t.program_fingerprint() == fp && t.warmup_insts() == warmup && t.is_complete() {
-                    return Some(t);
-                }
+            // The fingerprint is in the file name, but a renamed or
+            // hand-edited file must still not drive a replay (that case
+            // reads as a miss, not corruption).
+            match CommittedTrace::read_cached(p, fp, warmup) {
+                CacheLookup::Hit(t) => return Some(*t),
+                CacheLookup::Miss => {}
+                CacheLookup::Corrupt(e) => match evict_corrupt(p) {
+                    Ok(dest) => eprintln!(
+                        "warning: corrupt cached trace {}: {e}; evicted to {} and recapturing",
+                        p.display(),
+                        dest.display()
+                    ),
+                    Err(e2) => eprintln!(
+                        "warning: corrupt cached trace {}: {e}; eviction failed ({e2}), \
+                         recapturing anyway",
+                        p.display()
+                    ),
+                },
             }
         }
         let t = CommittedTrace::capture(&program, warmup, None).ok()?;
@@ -582,7 +608,7 @@ fn capture_traces(
 }
 
 /// One matrix cell's outcome as a worker reports it.
-enum JobOutcome {
+pub(crate) enum JobOutcome {
     /// The simulation finished and produced a report.
     Done(Box<SimReport>),
     /// The simulation (or its setup) failed; the rendered error.
@@ -594,15 +620,15 @@ enum JobOutcome {
 
 /// Everything a worker needs to run one matrix cell.
 #[derive(Clone, Copy)]
-struct CellJob<'a> {
-    bench: &'a Benchmark,
-    trace: Option<&'a CommittedTrace>,
-    scale: Scale,
-    port: PortConfig,
-    cpu_cfg: CpuConfig,
-    timeout: Option<Duration>,
-    checkpoint: Option<&'a Path>,
-    resume: bool,
+pub(crate) struct CellJob<'a> {
+    pub(crate) bench: &'a Benchmark,
+    pub(crate) trace: Option<&'a CommittedTrace>,
+    pub(crate) scale: Scale,
+    pub(crate) port: PortConfig,
+    pub(crate) cpu_cfg: CpuConfig,
+    pub(crate) timeout: Option<Duration>,
+    pub(crate) checkpoint: Option<&'a Path>,
+    pub(crate) resume: bool,
 }
 
 /// Runs one matrix cell. Plain cells run straight to completion; cells
@@ -610,7 +636,7 @@ struct CellJob<'a> {
 /// slices, polling the interrupt latch and the wall clock between slices.
 /// Panics anywhere inside (kernel generators included) are caught and
 /// rendered as failures.
-fn run_cell(job: CellJob<'_>) -> JobOutcome {
+pub(crate) fn run_cell(job: CellJob<'_>) -> JobOutcome {
     use std::panic::{catch_unwind, AssertUnwindSafe};
 
     let CellJob {
@@ -647,12 +673,29 @@ fn run_cell(job: CellJob<'_>) -> JobOutcome {
             SimSnapshot::read_from_path(p)
                 .map_err(SimError::from)
                 .and_then(|snap| Simulator::resume(&snap))
+                .map_err(|e| (p, e))
         });
         let built = match resumed {
             Some(Ok(sim)) => Ok(sim),
             // A stale or corrupt cell checkpoint costs a fresh run of that
-            // one cell, never the campaign.
-            Some(Err(_)) | None => fresh(),
+            // one cell, never the campaign. Evict the bad file so the next
+            // resume doesn't trip over the same bytes (and the evidence
+            // survives for a post-mortem).
+            Some(Err((p, e))) => {
+                match evict_corrupt(p) {
+                    Ok(dest) => eprintln!(
+                        "warning: unusable cell checkpoint {}: {e}; evicted to {} and \
+                         rerunning the cell fresh",
+                        p.display(),
+                        dest.display()
+                    ),
+                    Err(_) => {
+                        let _ = std::fs::remove_file(p);
+                    }
+                }
+                fresh()
+            }
+            None => fresh(),
         };
         let mut sim = match built {
             Ok(sim) => sim,
@@ -706,6 +749,13 @@ fn run_cell(job: CellJob<'_>) -> JobOutcome {
 /// checkpointed cells resumed bit-identically from their snapshots — the
 /// resumed campaign's reports equal an uninterrupted run's.
 ///
+/// **Sharding** ([`MatrixOpts::shard`]): instead of running cells on
+/// threads in this process, hand the whole campaign to the multi-process
+/// supervisor (the `supervise` module): N invocations of the same command
+/// drain one journal cooperatively, each cell runs in an isolated worker
+/// subprocess, and failed cells are retried with backoff and quarantined
+/// when their attempt budget runs out.
+///
 /// # Errors
 ///
 /// Fails only on journal problems: an unreadable or corrupt journal, a
@@ -720,6 +770,36 @@ pub fn simulate_matrix_opts(
     use std::io::Write;
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::mpsc;
+
+    // Worker-cell mode (a shard supervisor re-executed this binary): run
+    // the one assigned cell and exit through the out file. Checked before
+    // everything else so a worker never becomes a supervisor itself.
+    if let Some(spec) = &opts.worker {
+        supervise::run_worker(benches, scale, configs, opts, spec);
+    }
+    if opts.shard {
+        let journal = opts.journal.clone().ok_or_else(|| {
+            "--shard requires --journal PATH (the journal is the shared campaign state)".to_string()
+        })?;
+        let hash = matrix_hash(benches, scale, configs, &opts.cpu_cfg);
+        let threads = threads_from_args().unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+        });
+        return supervise::supervise(
+            benches,
+            configs,
+            hash,
+            &ShardParams {
+                journal,
+                max_attempts: opts.max_attempts,
+                lease_ttl: opts.lease_ttl,
+                timeout: opts.timeout,
+                threads,
+            },
+        );
+    }
 
     type JobResult = Result<SimReport, String>;
 
@@ -737,6 +817,9 @@ pub fn simulate_matrix_opts(
                         j.record_ok(i, attempts, &report);
                         slots[i] = Some(Ok(report));
                         attempts_by_slot[i] = attempts;
+                        // The cell is settled; an interrupt checkpoint it
+                        // left behind is stale — reclaim the disk space.
+                        let _ = std::fs::remove_file(cell_snap_path(path, i));
                     }
                 }
             }
@@ -919,6 +1002,7 @@ pub fn simulate_matrix_opts(
     let run = MatrixRun {
         reports,
         failures,
+        quarantined: Vec::new(),
         interrupted,
         capture_secs,
     };
@@ -1131,6 +1215,7 @@ mod tests {
         let clean = MatrixRun {
             reports: vec![],
             failures: vec![],
+            quarantined: vec![],
             interrupted: false,
             capture_secs: 0.0,
         };
@@ -1139,14 +1224,16 @@ mod tests {
             format!("{:?}", clean.exit_code()),
             format!("{:?}", std::process::ExitCode::SUCCESS)
         );
+        let boom = JobFailure {
+            bench: "x".into(),
+            config: "y".into(),
+            attempts: 2,
+            error: "boom".into(),
+        };
         let dirty = MatrixRun {
             reports: vec![vec![None]],
-            failures: vec![JobFailure {
-                bench: "x".into(),
-                config: "y".into(),
-                attempts: 2,
-                error: "boom".into(),
-            }],
+            failures: vec![boom.clone()],
+            quarantined: vec![],
             interrupted: false,
             capture_secs: 0.0,
         };
@@ -1154,9 +1241,36 @@ mod tests {
             format!("{:?}", dirty.exit_code()),
             format!("{:?}", std::process::ExitCode::from(1))
         );
+        // Quarantined-only: the campaign is as complete as its attempt
+        // budget allows — a distinct exit code (3), not a hard failure.
+        let quarantined = MatrixRun {
+            reports: vec![vec![None]],
+            failures: vec![],
+            quarantined: vec![boom.clone()],
+            interrupted: false,
+            capture_secs: 0.0,
+        };
+        assert!(!quarantined.is_complete());
+        assert_eq!(
+            format!("{:?}", quarantined.exit_code()),
+            format!("{:?}", std::process::ExitCode::from(3))
+        );
+        // A hard failure outranks quarantine.
+        let both = MatrixRun {
+            reports: vec![vec![None, None]],
+            failures: vec![boom.clone()],
+            quarantined: vec![boom],
+            interrupted: false,
+            capture_secs: 0.0,
+        };
+        assert_eq!(
+            format!("{:?}", both.exit_code()),
+            format!("{:?}", std::process::ExitCode::from(1))
+        );
         let interrupted = MatrixRun {
             reports: vec![vec![None]],
             failures: vec![],
+            quarantined: vec![],
             interrupted: true,
             capture_secs: 0.0,
         };
@@ -1313,7 +1427,7 @@ mod tests {
         let run = simulate_matrix_opts(&benches, Scale::Test, &configs, &opts).unwrap();
         assert_eq!(run.failures.len(), 1);
         let text = std::fs::read_to_string(&journal).unwrap();
-        assert!(text.starts_with(JOURNAL_HEADER), "{text}");
+        assert!(text.starts_with(supervise::JOURNAL_HEADER), "{text}");
         assert!(text.contains("\nok 0 "), "{text}");
         assert!(text.contains("\nfail 1 "), "{text}");
 

@@ -71,6 +71,22 @@ const TAG_TAKEN: u8 = 0x04;
 const TAG_PC_SEQ: u8 = 0x08;
 const TAG_KNOWN: u8 = TAG_ADDR | TAG_BRANCH | TAG_TAKEN | TAG_PC_SEQ;
 
+/// Outcome of [`CommittedTrace::read_cached`]: the three-way answer a
+/// self-healing trace cache needs (use it, capture fresh, or evict the
+/// file *then* capture fresh).
+#[derive(Debug)]
+pub enum CacheLookup {
+    /// A valid trace matching the requested program and warmup.
+    Hit(Box<CommittedTrace>),
+    /// No usable entry: the file is absent, or intact but for a
+    /// different program, warmup, or an incomplete capture.
+    Miss,
+    /// The file exists but is corrupt or truncated; the caller should
+    /// evict it (e.g. via `hbdc_snap::lock::evict_corrupt`) so the next
+    /// run sees a clean miss.
+    Corrupt(SnapError),
+}
+
 /// A captured committed-instruction stream: the program it came from plus
 /// the delta-encoded dynamic records, validated and ready to replay.
 ///
@@ -366,6 +382,37 @@ impl CommittedTrace {
         let bytes = std::fs::read(path)
             .map_err(|e| SnapError::Io(format!("read {}: {e}", path.display())))?;
         Self::from_bytes(bytes)
+    }
+
+    /// Looks a trace up in an on-disk cache, classifying the outcome so
+    /// callers can self-heal: a [`Miss`](CacheLookup::Miss) (no file, or
+    /// a valid trace that does not match this program/warmup — a stale
+    /// but intact entry) means "capture fresh", while
+    /// [`Corrupt`](CacheLookup::Corrupt) (the file exists but fails the
+    /// seal, checksum, or record validation) means "evict this file,
+    /// then capture fresh" — re-parsing the same bad bytes on every run
+    /// would otherwise re-pay the capture forever without saying why.
+    pub fn read_cached(path: &Path, program_fp: u64, warmup: u64) -> CacheLookup {
+        let bytes = match std::fs::read(path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return CacheLookup::Miss,
+            Err(e) => {
+                return CacheLookup::Corrupt(SnapError::Io(format!("read {}: {e}", path.display())))
+            }
+        };
+        match Self::from_bytes(bytes) {
+            // The fingerprint is normally in the file name, but a renamed
+            // or hand-edited file must still never drive a replay.
+            Ok(t)
+                if t.program_fingerprint() == program_fp
+                    && t.warmup_insts() == warmup
+                    && t.is_complete() =>
+            {
+                CacheLookup::Hit(Box::new(t))
+            }
+            Ok(_) => CacheLookup::Miss,
+            Err(e) => CacheLookup::Corrupt(e),
+        }
     }
 
     /// Writes the sealed container crash-safely (temp-then-rename).

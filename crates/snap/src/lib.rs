@@ -15,6 +15,8 @@
 //!   update discipline both snapshot and journal writers use.
 //! * [`interrupt`] — a process-wide SIGINT latch so long campaigns can
 //!   shut down gracefully at a cycle boundary instead of dying mid-write.
+//! * [`lock`] — advisory file locking, pid liveness probes, and
+//!   corrupt-artifact eviction for multi-process campaign supervision.
 //!
 //! # Examples
 //!
@@ -37,6 +39,7 @@
 #![warn(missing_docs)]
 
 pub mod interrupt;
+pub mod lock;
 
 use std::fmt;
 use std::path::Path;
@@ -462,20 +465,38 @@ pub fn open(bytes: &[u8], magic: [u8; 4], version: u32) -> Result<&[u8], SnapErr
     Ok(payload)
 }
 
-/// Writes `bytes` to `path` crash-safely: the content lands in a `.tmp`
-/// sibling first and is renamed into place, so readers only ever see the
-/// old file or the complete new one — never a torn write.
+/// Writes `bytes` to `path` crash-safely: the content lands in a
+/// uniquely named `.tmp.<pid>.<seq>` sibling first and is renamed into
+/// place, so readers only ever see the old file or the complete new one
+/// — never a torn write.
+///
+/// The temp name carries the writer's pid and a per-process sequence
+/// number because campaign shards race: two processes capturing the same
+/// benchmark may persist the same trace-cache entry at the same instant,
+/// and with a shared temp name one writer's `O_TRUNC` would interleave
+/// with the other's bytes before the rename — a sealed-looking torn
+/// file. With unique temps each rename installs one writer's complete
+/// image (the contents are identical anyway: captures are
+/// deterministic).
 ///
 /// # Errors
 ///
 /// [`SnapError::Io`] describing the failing operation.
 pub fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), SnapError> {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SEQ: AtomicU64 = AtomicU64::new(0);
     let mut tmp = path.as_os_str().to_owned();
-    tmp.push(".tmp");
+    tmp.push(format!(
+        ".tmp.{}.{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
     let tmp = std::path::PathBuf::from(tmp);
     std::fs::write(&tmp, bytes)
         .map_err(|e| SnapError::Io(format!("write {}: {e}", tmp.display())))?;
     std::fs::rename(&tmp, path).map_err(|e| {
+        // Best-effort cleanup: a failed rename must not strand the temp.
+        let _ = std::fs::remove_file(&tmp);
         SnapError::Io(format!(
             "rename {} -> {}: {e}",
             tmp.display(),
@@ -646,7 +667,13 @@ mod tests {
         assert_eq!(std::fs::read(&path).unwrap(), b"one");
         write_atomic(&path, b"two").unwrap();
         assert_eq!(std::fs::read(&path).unwrap(), b"two");
-        assert!(!path.with_extension("bin.tmp").exists());
+        // No temp files linger, whatever suffix scheme they used.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name())
+            .filter(|n| n != "state.bin")
+            .collect();
+        assert!(leftovers.is_empty(), "stray temp files: {leftovers:?}");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

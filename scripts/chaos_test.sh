@@ -1,0 +1,227 @@
+#!/usr/bin/env bash
+# Chaos test for the multi-process campaign supervisor.
+#
+# Asserts the supervision protocol's end-to-end contract: N cooperating
+# `--shard` processes drain one journal with every cell completed exactly
+# once; SIGKILLed workers and supervisors, SIGSTOP/SIGCONT wedges, and
+# corrupted on-disk artifacts (bit-flipped / truncated trace-cache files
+# and cell checkpoints) cost attempts and re-runs — never wrong results;
+# and the final campaign output is byte-identical to a clean
+# single-process run. Also pins the quarantine contract: cells that fail
+# every attempt quarantine (exit 3) instead of failing the campaign, and
+# a rerun with a larger --max-attempts revives them.
+#
+# Adversity is seeded (HBDC_CHAOS_SEED, default 1997) so the kill/stop
+# schedule is reproducible modulo OS scheduling. HBDC_CHAOS_QUICK=1 runs
+# a single-benchmark matrix with fewer chaos rounds (the CI/check.sh
+# configuration).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SEED="${HBDC_CHAOS_SEED:-1997}"
+RANDOM=$SEED
+
+tmp="$(mktemp -d "${TMPDIR:-/tmp}/hbdc-chaos.XXXXXX")"
+cleanup() {
+    pkill -CONT -f "hbdc-sim campaign .*$tmp" 2>/dev/null || true
+    pkill -9 -f "hbdc-sim campaign .*$tmp" 2>/dev/null || true
+    rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+cargo build --release -q --bin hbdc-sim
+bin="target/release/hbdc-sim"
+
+if [ -n "${HBDC_CHAOS_QUICK:-}" ]; then
+    common=(campaign table4 --scale test --bench li)
+    shards=2 rounds=2
+else
+    common=(campaign table4 --scale test)
+    shards=3 rounds=5
+fi
+# Fast retries and lease expiry so the test exercises steals and backoff
+# in seconds, not minutes.
+export HBDC_RETRY_BACKOFF_MS=25
+
+echo "-- phase 1: clean single-process reference run"
+"$bin" "${common[@]}" >"$tmp/ref.out" 2>"$tmp/ref.err"
+echo "   reference table captured"
+
+echo "-- phase 2: $shards cooperating shard processes drain one journal"
+journal="$tmp/drain.journal"
+pids=()
+for i in $(seq 1 "$shards"); do
+    "$bin" "${common[@]}" --journal "$journal" --shard --threads 2 \
+        >"$tmp/drain$i.out" 2>"$tmp/drain$i.err" &
+    pids+=($!)
+done
+for i in $(seq 1 "$shards"); do
+    status=0
+    wait "${pids[$((i - 1))]}" || status=$?
+    if [ "$status" -ne 0 ]; then
+        echo "FAIL: shard $i exited $status" >&2
+        cat "$tmp/drain$i.err" >&2
+        exit 1
+    fi
+    if ! cmp -s "$tmp/ref.out" "$tmp/drain$i.out"; then
+        echo "FAIL: shard $i stdout differs from the clean run" >&2
+        diff -u "$tmp/ref.out" "$tmp/drain$i.out" >&2 || true
+        exit 1
+    fi
+done
+cells=$(awk '$1 == "cells" { print $2 }' "$journal")
+oks=$(grep -c '^ok ' "$journal")
+dups=$(awk '$1 == "ok" { print $2 }' "$journal" | sort -n | uniq -d | wc -l)
+if [ "$oks" -ne "$cells" ] || [ "$dups" -ne 0 ]; then
+    echo "FAIL: lease accounting: $oks ok records for $cells cells, $dups duplicated" >&2
+    exit 1
+fi
+echo "   $shards shards, $cells cells completed exactly once, outputs identical"
+
+echo "-- phase 3: quarantine contract (exit 3) and revival"
+qj="$tmp/quar.journal"
+status=0
+HBDC_CHAOS_FAIL_CELLS="1,4" "$bin" "${common[@]}" --journal "$qj" --shard --threads 2 \
+    >"$tmp/quar.out" 2>"$tmp/quar.err" || status=$?
+if [ "$status" -ne 3 ]; then
+    echo "FAIL: quarantined campaign exited $status, expected 3" >&2
+    cat "$tmp/quar.err" >&2
+    exit 1
+fi
+quars=$(grep -c '^quar ' "$qj")
+if [ "$quars" -ne 2 ]; then
+    echo "FAIL: expected 2 quarantined cells, journal has $quars" >&2
+    exit 1
+fi
+# Same budget, no injected failures: the cells stay quarantined (exit 3).
+status=0
+"$bin" "${common[@]}" --journal "$qj" --shard --threads 2 >/dev/null 2>&1 || status=$?
+if [ "$status" -ne 3 ]; then
+    echo "FAIL: rerun at the same budget exited $status, expected 3" >&2
+    exit 1
+fi
+# A raised budget revives them, and the healed campaign matches the
+# reference bit for bit.
+"$bin" "${common[@]}" --journal "$qj" --shard --threads 2 --max-attempts 5 \
+    >"$tmp/revived.out" 2>"$tmp/revived.err"
+if ! cmp -s "$tmp/ref.out" "$tmp/revived.out"; then
+    echo "FAIL: revived campaign differs from the clean run" >&2
+    diff -u "$tmp/ref.out" "$tmp/revived.out" >&2 || true
+    exit 1
+fi
+echo "   quarantine (exit 3) and --max-attempts revival verified"
+
+echo "-- phase 4: seeded adversity (seed $SEED, $rounds rounds)"
+cj="$tmp/chaos.journal"
+traces="$tmp/traces"
+chaos_args=(--journal "$cj" --shard --threads 1 --max-attempts 99 \
+    --lease-ttl-secs 1 --trace-cache "$traces")
+
+# Flips one byte of a file in place (offset from the seeded RNG).
+flip_byte() {
+    local f=$1 size off
+    size=$(wc -c <"$f")
+    [ "$size" -gt 0 ] || return 0
+    off=$((RANDOM % size))
+    printf '\252' | dd of="$f" bs=1 seek="$off" conv=notrunc status=none
+}
+
+# Truncates a file to half its size.
+truncate_half() {
+    local f=$1 size
+    size=$(wc -c <"$f")
+    [ "$size" -gt 1 ] || return 0
+    head -c $((size / 2)) "$f" >"$f.torn" && mv "$f.torn" "$f"
+}
+
+for round in $(seq 1 "$rounds"); do
+    done_cells=$(grep -cs '^ok ' "$cj" || true)
+    if [ "${done_cells:-0}" -ge "$cells" ]; then
+        echo "   campaign converged after $((round - 1)) chaos round(s)"
+        break
+    fi
+    sup=()
+    for i in 1 2; do
+        "$bin" "${common[@]}" "${chaos_args[@]}" \
+            >"$tmp/chaos-r$round-$i.out" 2>"$tmp/chaos-r$round-$i.err" &
+        sup+=($!)
+    done
+    sleep "0.$((RANDOM % 5 + 2))"
+    case $((RANDOM % 4)) in
+    0)
+        victim=${sup[$((RANDOM % 2))]}
+        echo "   round $round: SIGKILL supervisor $victim"
+        kill -9 "$victim" 2>/dev/null || true
+        ;;
+    1)
+        wpid=$(pgrep -f "hbdc-sim campaign .*--worker-cell" | head -1 || true)
+        echo "   round $round: SIGKILL worker ${wpid:-<none in flight>}"
+        [ -n "$wpid" ] && kill -9 "$wpid" 2>/dev/null || true
+        ;;
+    2)
+        victim=${sup[$((RANDOM % 2))]}
+        echo "   round $round: SIGSTOP/SIGCONT supervisor $victim (lease steal window)"
+        kill -STOP "$victim" 2>/dev/null || true
+        sleep "1.$((RANDOM % 5))"
+        kill -CONT "$victim" 2>/dev/null || true
+        ;;
+    3)
+        victim=${sup[$((RANDOM % 2))]}
+        echo "   round $round: SIGINT supervisor $victim (graceful checkpoint)"
+        kill -INT "$victim" 2>/dev/null || true
+        ;;
+    esac
+    sleep "0.$((RANDOM % 3 + 1))"
+    # Let the survivors run a little longer, then clear the field for the
+    # next round (leases released by SIGINT, or stolen after the TTL).
+    for p in "${sup[@]}"; do
+        kill -INT "$p" 2>/dev/null || true
+    done
+    for p in "${sup[@]}"; do
+        wait "$p" || true
+    done
+    # Corrupt artifacts between resumes: one bit-flip and one truncation
+    # across the cell checkpoints and the shared trace cache.
+    snaps=("$cj".cell*.snap)
+    if [ -e "${snaps[0]:-}" ]; then
+        flip_byte "${snaps[$((RANDOM % ${#snaps[@]}))]}"
+    fi
+    hbtrs=("$traces"/*.hbtr)
+    if [ -e "${hbtrs[0]:-}" ]; then
+        truncate_half "${hbtrs[$((RANDOM % ${#hbtrs[@]}))]}"
+    fi
+done
+
+# Final clean convergence: one undisturbed supervisor finishes whatever
+# the chaos left behind and reprints the whole campaign.
+status=0
+"$bin" "${common[@]}" "${chaos_args[@]}" \
+    >"$tmp/final.out" 2>"$tmp/final.err" || status=$?
+if [ "$status" -ne 0 ]; then
+    echo "FAIL: final convergence run exited $status" >&2
+    cat "$tmp/final.err" >&2
+    exit 1
+fi
+if ! cmp -s "$tmp/ref.out" "$tmp/final.out"; then
+    echo "FAIL: post-chaos campaign differs from the clean single-process run" >&2
+    diff -u "$tmp/ref.out" "$tmp/final.out" >&2 || true
+    exit 1
+fi
+oks=$(grep -c '^ok ' "$cj")
+dups=$(awk '$1 == "ok" { print $2 }' "$cj" | sort -n | uniq -d | wc -l)
+bad=$(grep -Ec '^(fail|quar|lease) ' "$cj" || true)
+if [ "$oks" -ne "$cells" ] || [ "$dups" -ne 0 ] || [ "$bad" -ne 0 ]; then
+    echo "FAIL: post-chaos journal: $oks/$cells ok, $dups duplicated, $bad non-terminal" >&2
+    cat "$cj" >&2
+    exit 1
+fi
+leftover=$(find "$tmp" -name '*.cell*.snap' | wc -l)
+if [ "$leftover" -ne 0 ]; then
+    echo "FAIL: $leftover cell checkpoint(s) not cleaned up after convergence" >&2
+    exit 1
+fi
+evictions=$(cat "$tmp"/chaos-r*-*.err "$tmp/final.err" 2>/dev/null | grep -c 'evicted' || true)
+corpses=$(find "$tmp" -name '*.corrupt' | wc -l)
+echo "   self-healing: $evictions eviction warning(s), $corpses quarantined artifact(s) on disk"
+
+echo "chaos test passed: $cells cells exactly once, bit-identical to the clean run"

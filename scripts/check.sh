@@ -24,6 +24,9 @@ scripts/resume_test.sh
 echo "== trace round-trip (capture / info / replay == execute)"
 scripts/trace_roundtrip.sh
 
+echo "== multi-process supervisor chaos test (quick, seeded)"
+HBDC_CHAOS_QUICK=1 scripts/chaos_test.sh
+
 echo "== throughput regression guard (HBDC_SKIP_PERF=1 to skip)"
 scripts/perf_guard.sh
 

@@ -15,6 +15,10 @@
 //! hbdc-sim disasm <prog.s|prog.hbo>          print assembler-compatible text
 //! hbdc-sim analyze <prog.s|bench:NAME>       stream locality + reuse report
 //! hbdc-sim bench-list                        list the SPEC95 analogs
+//! hbdc-sim campaign table3|table4 [--scale ...] [--bench NAME] [--csv]
+//!              [--journal PATH | --resume PATH] [--shard] [--threads N]
+//!              [--max-attempts N] [--lease-ttl-secs N] [--timeout-secs N]
+//!              [--trace-mode execute|replay] [--trace-cache DIR]
 //! ```
 //!
 //! `trace capture` runs the functional model once and seals the committed
@@ -58,7 +62,10 @@ fn usage() -> ExitCode {
          hbdc-sim asm <prog.s> -o <prog.hbo>\n  \
          hbdc-sim disasm <prog.s|prog.hbo>\n  \
          hbdc-sim analyze <prog.s|bench:NAME> [--banks N] [--scale ...]\n  \
-         hbdc-sim bench-list\n\n\
+         hbdc-sim bench-list\n  \
+         hbdc-sim campaign table3|table4 [--scale ...] [--bench NAME] [--csv]\n\
+         \x20          [--journal PATH | --resume PATH] [--shard] [--threads N]\n\
+         \x20          [--max-attempts N] [--lease-ttl-secs N] [--timeout-secs N]\n\n\
          port SPEC: ideal:P | repl:P | bank:M[:xor|:rand] | lbic:MxN[:sq=K][:largest]"
     );
     ExitCode::from(2)
@@ -461,6 +468,60 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Runs a whole table campaign through the journaled matrix engine —
+/// including its sharded multi-process mode: start the same `campaign`
+/// command with `--journal J --shard` in several terminals and they
+/// drain one journal cooperatively (each cell in an isolated worker
+/// subprocess, dead workers' leases stolen, flaky cells retried and
+/// quarantined after `--max-attempts`). Exit code follows the matrix
+/// contract: 0 clean, 1 failed cells, 3 only-quarantined cells, 130
+/// interrupted-and-checkpointed.
+fn cmd_campaign(args: &[String]) -> Result<ExitCode, String> {
+    use hbdc_bench::runner::{
+        benches_from_args, csv_from_args, scale_from_args, simulate_matrix, table3_columns,
+        table4_columns,
+    };
+
+    let which = args
+        .first()
+        .ok_or("campaign expects a table: table3 or table4")?;
+    let columns = match which.as_str() {
+        "table3" => table3_columns(),
+        "table4" => table4_columns(),
+        other => {
+            return Err(format!(
+                "unknown campaign `{other}` (expected table3 or table4)"
+            ))
+        }
+    };
+    let benches = benches_from_args();
+    let run = simulate_matrix(&benches, scale_from_args(), &columns);
+
+    let mut headers = vec!["Program".to_string()];
+    headers.extend(columns.iter().map(|(name, _)| name.clone()));
+    let mut table = hbdc::stats::Table::new(headers);
+    table.numeric();
+    for (bench, reports) in benches.iter().zip(&run.reports) {
+        let mut cells = vec![bench.name().to_string()];
+        cells.extend(reports.iter().map(|r| {
+            r.as_ref()
+                .map_or_else(|| "--".to_string(), |r| hbdc::stats::ipc(r.ipc()))
+        }));
+        table.row(cells);
+    }
+    println!(
+        "\nCampaign {which}: {} benchmark{} x {} configurations\n",
+        benches.len(),
+        if benches.len() == 1 { "" } else { "s" },
+        columns.len()
+    );
+    println!("{table}");
+    if csv_from_args() {
+        println!("CSV:\n{}", table.to_csv());
+    }
+    Ok(run.exit_code())
+}
+
 fn cmd_bench_list() -> Result<(), String> {
     println!(
         "{:10} {:5} {:>8} {:>10} {:>9}",
@@ -497,6 +558,16 @@ fn main() -> ExitCode {
         "disasm" => cmd_disasm(rest),
         "analyze" => cmd_analyze(rest),
         "bench-list" => cmd_bench_list(),
+        // `campaign` owns its exit code (the matrix contract: 0/1/3/130).
+        "campaign" => {
+            return match cmd_campaign(rest) {
+                Ok(code) => code,
+                Err(e) => {
+                    eprintln!("hbdc-sim: {e}");
+                    ExitCode::from(2)
+                }
+            }
+        }
         _ => return usage(),
     };
     match result {
