@@ -80,6 +80,14 @@ pub fn scale_from_args_or(default: Scale) -> Scale {
 /// Reads a worker-thread count from `argv` (`--threads <N>`); `None`
 /// means "use every available core". Prints a usage message and exits
 /// with status 2 on a non-numeric or zero value.
+///
+/// `--threads` composes with `--shard` rather than conflicting with it:
+/// without `--shard` it sizes the in-process simulation thread pool;
+/// with `--shard` it caps how many isolated worker *subprocesses* this
+/// one supervisor keeps in flight (each shard process applies its own
+/// `--threads`, so two terminals running `--shard --threads 2` drain the
+/// journal four cells at a time campaign-wide). `scripts/chaos_test.sh`
+/// exercises exactly this combination.
 pub fn threads_from_args() -> Option<usize> {
     let v = flag_value("--threads")?;
     let v = v.as_deref().unwrap_or("");

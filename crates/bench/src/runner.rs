@@ -526,6 +526,12 @@ fn trace_cache_path(dir: &Path, bench: &str, scale: Scale, warmup: u64, fp: u64)
 /// `*.corrupt`, with one warning) and the trace recaptured, so one bad
 /// byte costs one capture — not a warning storm or a silent functional
 /// re-parse on every later campaign.
+///
+/// The interrupt latch is polled before each fresh capture (cached hits
+/// still load — they are nearly free and make the later resume fast), so
+/// a Ctrl-C during this phase stops promptly instead of executing every
+/// remaining benchmark first. The caller is responsible for turning the
+/// pending interrupt into an interrupted, resumable run.
 pub(crate) fn capture_traces(
     benches: &[Benchmark],
     wanted: &[bool],
@@ -546,6 +552,12 @@ pub(crate) fn capture_traces(
     }
     let warmup = cpu_cfg.warmup_insts;
     let one = |bench: &Benchmark| -> Option<CommittedTrace> {
+        // A pending SIGINT stops new captures before the expensive
+        // build/execute work; the journal (if any) is already on disk,
+        // so the caller winds down into a resumable interrupted run.
+        if interrupt::requested() {
+            return None;
+        }
         let program = bench.build(scale);
         let fp = fnv1a64(&hbdc_isa::object::to_bytes(&program));
         let path = cache.map(|d| trace_cache_path(d, bench.name(), scale, warmup, fp));
@@ -569,6 +581,12 @@ pub(crate) fn capture_traces(
                     ),
                 },
             }
+        }
+        // Re-check after the cache lookup: a cached hit above still
+        // loads under a pending interrupt (it is nearly free and keeps
+        // resume fast), but a fresh execute-once capture does not start.
+        if interrupt::requested() {
+            return None;
         }
         let t = CommittedTrace::capture(&program, warmup, None).ok()?;
         if let Some(p) = &path {
@@ -754,7 +772,10 @@ pub(crate) fn run_cell(job: CellJob<'_>) -> JobOutcome {
 /// supervisor (the `supervise` module): N invocations of the same command
 /// drain one journal cooperatively, each cell runs in an isolated worker
 /// subprocess, and failed cells are retried with backoff and quarantined
-/// when their attempt budget runs out.
+/// when their attempt budget runs out. `--threads` remains meaningful in
+/// this mode — it caps the concurrent worker subprocesses *per
+/// supervisor* (default: available cores), so the campaign-wide width is
+/// the sum over the cooperating shard processes.
 ///
 /// # Errors
 ///
@@ -872,6 +893,21 @@ pub fn simulate_matrix_opts(
             }
         );
     }
+
+    // A SIGINT that landed during the capture phase stops the run right
+    // there: every capture that finished is already in the trace cache,
+    // and the journal (header at minimum) is flushed, so the campaign is
+    // in its resumable state without starting a single replay cell.
+    // Clearing the queue lets the worker scaffolding below wind down
+    // immediately; the interrupted `MatrixRun` then exits with code 130.
+    // (Execute mode has no capture phase — its cells checkpoint
+    // themselves through the chunked run loop instead.)
+    let pending =
+        if opts.trace_mode == TraceMode::Replay && journal.is_some() && interrupt::requested() {
+            Vec::new()
+        } else {
+            pending
+        };
 
     let next = AtomicUsize::new(0);
     let (tx, rx) = mpsc::channel::<(usize, JobOutcome, u32)>();
@@ -1307,8 +1343,13 @@ mod tests {
             ("i2".to_string(), PortConfig::Ideal { ports: 2 }),
             ("b4".to_string(), PortConfig::banked(4)),
         ];
+        // Execute mode, deliberately: a pre-set latch in replay mode
+        // stops at the capture phase before any cell starts (see
+        // `interrupt_during_capture_phase_is_resumable`), and this test
+        // is about the *cell* checkpoint path.
         let opts = MatrixOpts {
             journal: Some(journal.clone()),
+            trace_mode: TraceMode::Execute,
             ..MatrixOpts::default()
         };
 
@@ -1353,6 +1394,62 @@ mod tests {
             .unwrap()
             .expect_complete();
         assert_eq!(replayed, fresh);
+    }
+
+    #[test]
+    fn interrupt_during_capture_phase_is_resumable() {
+        let _guard = latch_lock();
+        let dir = scratch_dir("capture-interrupt");
+        let journal = dir.join("cap.journal");
+        let cache = dir.join("traces");
+        let _ = std::fs::remove_file(&journal);
+        let _ = std::fs::remove_dir_all(&cache);
+        let benches = vec![by_name("li").unwrap(), by_name("compress").unwrap()];
+        let configs = vec![
+            ("i2".to_string(), PortConfig::Ideal { ports: 2 }),
+            ("b4".to_string(), PortConfig::banked(4)),
+        ];
+        let opts = MatrixOpts {
+            journal: Some(journal.clone()),
+            trace_mode: TraceMode::Replay,
+            trace_cache: Some(cache.clone()),
+            ..MatrixOpts::default()
+        };
+
+        // With the latch set before the run starts, the capture phase
+        // itself bails (no traces, no cache files) and no replay cell is
+        // ever launched — yet the journal is flushed and resumable.
+        interrupt::reset();
+        interrupt::trigger();
+        let halted = simulate_matrix_opts(&benches, Scale::Test, &configs, &opts).unwrap();
+        interrupt::reset();
+        assert!(halted.interrupted, "capture-phase SIGINT must interrupt");
+        assert_eq!(
+            format!("{:?}", halted.exit_code()),
+            format!("{:?}", std::process::ExitCode::from(130))
+        );
+        assert!(halted.failures.is_empty(), "an interrupt is not a failure");
+        assert!(
+            halted.reports.iter().flatten().all(Option::is_none),
+            "no replay cell may start under a capture-phase interrupt"
+        );
+        assert!(journal.exists(), "the journal is flushed before capture");
+        let captured = std::fs::read_dir(&cache).map(|d| d.count()).unwrap_or(0);
+        assert_eq!(captured, 0, "no fresh capture may run under the latch");
+
+        // Resuming with a clear latch captures the traces and completes;
+        // the result equals an uninterrupted execute-mode run.
+        let resume_opts = MatrixOpts {
+            resume: true,
+            ..opts
+        };
+        let resumed = simulate_matrix_opts(&benches, Scale::Test, &configs, &resume_opts)
+            .unwrap()
+            .expect_complete();
+        let fresh = simulate_matrix_with(&benches, Scale::Test, &configs, CpuConfig::default())
+            .expect_complete();
+        assert_eq!(resumed, fresh);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -549,31 +549,75 @@ fn chaos_fail_requested(idx: usize) -> bool {
         .unwrap_or(false)
 }
 
+/// Companion seam: `HBDC_CHAOS_GARBLE_CELLS="2,5"` makes the worker for
+/// those cells write a *torn* result file (half an `ok` record) and exit
+/// cleanly, exercising the supervisor's [`OutFileError::Garbled`]
+/// classification end to end. Only consulted in worker mode.
+fn chaos_garble_requested(idx: usize) -> bool {
+    std::env::var("HBDC_CHAOS_GARBLE_CELLS")
+        .map(|v| v.split(',').any(|t| t.trim().parse::<usize>() == Ok(idx)))
+        .unwrap_or(false)
+}
+
 // ---------------------------------------------------------------------
 // Worker-cell mode
 // ---------------------------------------------------------------------
 
 /// What a worker subprocess reports back through its out file.
+#[derive(Debug)]
 enum WorkerOut {
     Ok(String),
     Fail(String),
     Interrupted,
 }
 
-/// Parses a worker out file. `None` means "no usable result" — the file
-/// is missing (worker killed before finishing) or garbled.
-fn parse_worker_out(path: &Path) -> Option<WorkerOut> {
-    let text = std::fs::read_to_string(path).ok()?;
-    let line = text.lines().next()?;
+/// Why a worker's out file produced no usable result. The two cases are
+/// operationally distinct — a [`Missing`](Self::Missing) file means the
+/// worker never completed its atomic result write (SIGKILL, OOM, crash),
+/// while [`Garbled`](Self::Garbled) means a write landed but its
+/// contents do not parse (torn write under a dying filesystem, stray
+/// process scribbling on the path) — but both charge exactly one attempt
+/// against the cell: the supervisor retries with backoff and quarantines
+/// at the attempt budget, never crashes.
+#[derive(Debug, PartialEq, Eq)]
+enum OutFileError {
+    /// No out file on disk.
+    Missing,
+    /// An out file exists but is empty, truncated, or corrupt; the
+    /// payload explains what failed to parse.
+    Garbled(String),
+}
+
+/// Parses a worker out file, classifying every non-result as a typed
+/// [`OutFileError`] so the supervisor's retry bookkeeping can name what
+/// actually happened.
+fn parse_worker_out(path: &Path) -> Result<WorkerOut, OutFileError> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Err(OutFileError::Missing),
+        Err(e) => return Err(OutFileError::Garbled(format!("unreadable: {e}"))),
+    };
+    let Some(line) = text.lines().next().filter(|l| !l.is_empty()) else {
+        return Err(OutFileError::Garbled("empty result file".into()));
+    };
     if let Some(record) = line.strip_prefix("ok ") {
-        // Validate before the record enters the journal.
-        SimReport::from_record(record).ok()?;
-        return Some(WorkerOut::Ok(record.to_string()));
+        // Validate before the record enters the journal: a truncated
+        // record must cost this attempt, not poison the campaign.
+        return match SimReport::from_record(record) {
+            Ok(_) => Ok(WorkerOut::Ok(record.to_string())),
+            Err(e) => Err(OutFileError::Garbled(format!("bad ok record: {e}"))),
+        };
     }
     if let Some(err) = line.strip_prefix("fail ") {
-        return Some(WorkerOut::Fail(unescape_error(err)));
+        return Ok(WorkerOut::Fail(unescape_error(err)));
     }
-    (line == "int").then_some(WorkerOut::Interrupted)
+    if line == "int" {
+        return Ok(WorkerOut::Interrupted);
+    }
+    let head: String = line.chars().take(40).collect();
+    Err(OutFileError::Garbled(format!(
+        "unrecognized result line starting `{head}`"
+    )))
 }
 
 /// Runs exactly one matrix cell in-process and reports through the out
@@ -613,6 +657,12 @@ pub(crate) fn run_worker(
     }
     if chaos_fail_requested(spec.cell) {
         fail("chaos: injected worker failure (HBDC_CHAOS_FAIL_CELLS)");
+    }
+    if chaos_garble_requested(spec.cell) {
+        // A torn write with a clean exit status: the supervisor must not
+        // trust the exit code, classify the file as garbled, and charge
+        // the attempt.
+        finish("ok 12\t34".to_string(), 0);
     }
     interrupt::install();
 
@@ -760,7 +810,7 @@ pub(crate) fn supervise(
             let outcome = parse_worker_out(&r.out);
             let _ = std::fs::remove_file(&r.out);
             let mark = match outcome {
-                Some(WorkerOut::Ok(record)) => {
+                Ok(WorkerOut::Ok(record)) => {
                     locked_update(journal, hash, total, |s| {
                         if s.set_ok(r.idx, r.attempt, record) {
                             // The cell is on the books; its in-flight
@@ -770,13 +820,13 @@ pub(crate) fn supervise(
                     })?;
                     "."
                 }
-                Some(WorkerOut::Interrupted) => {
+                Ok(WorkerOut::Interrupted) => {
                     // The worker checkpointed; hand the cell back so a
                     // resume (or a surviving shard) picks it up at once.
                     locked_update(journal, hash, total, |s| s.release_lease(r.idx, pid))?;
                     "!"
                 }
-                Some(WorkerOut::Fail(e)) => {
+                Ok(WorkerOut::Fail(e)) => {
                     let deadline = now_ms().saturating_add(backoff_ms(r.attempt));
                     let quarantined = locked_update(journal, hash, total, |s| {
                         s.set_fail(r.idx, r.attempt, deadline, e, params.max_attempts)
@@ -787,10 +837,21 @@ pub(crate) fn supervise(
                         "x"
                     }
                 }
-                None => {
-                    // No result on disk: the worker was SIGKILLed, OOMed,
-                    // or crashed before its atomic result write landed.
-                    let e = format!("worker for cell {} died without a result ({status})", r.idx);
+                Err(kind) => {
+                    // No usable result: the worker died before its atomic
+                    // write landed (Missing) or the out file does not
+                    // parse (Garbled). Either way this attempt is
+                    // charged; the cell retries with backoff and
+                    // quarantines at the attempt budget.
+                    let e = match kind {
+                        OutFileError::Missing => {
+                            format!("worker for cell {} died without a result ({status})", r.idx)
+                        }
+                        OutFileError::Garbled(why) => format!(
+                            "worker for cell {} left a garbled result file: {why} ({status})",
+                            r.idx
+                        ),
+                    };
                     let deadline = now_ms().saturating_add(backoff_ms(r.attempt));
                     let quarantined = locked_update(journal, hash, total, |s| {
                         s.set_fail(r.idx, r.attempt, deadline, e, params.max_attempts)
@@ -991,6 +1052,69 @@ mod tests {
 
     fn path() -> PathBuf {
         PathBuf::from("test.journal")
+    }
+
+    #[test]
+    fn worker_out_files_classify_missing_vs_garbled() {
+        let dir = std::env::temp_dir().join(format!("hbdc-workerout-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("cell.out");
+
+        // Missing file: the worker never finished its atomic write.
+        let _ = std::fs::remove_file(&p);
+        assert_eq!(parse_worker_out(&p).unwrap_err(), OutFileError::Missing);
+
+        // Empty, torn, scribbled, and non-UTF-8 files are all Garbled —
+        // typed, with a reason, never a panic or a silent Ok.
+        std::fs::write(&p, "").unwrap();
+        assert!(matches!(
+            parse_worker_out(&p),
+            Err(OutFileError::Garbled(w)) if w.contains("empty")
+        ));
+        std::fs::write(&p, "ok 12\t34").unwrap();
+        assert!(matches!(
+            parse_worker_out(&p),
+            Err(OutFileError::Garbled(w)) if w.contains("bad ok record")
+        ));
+        std::fs::write(&p, "lease 3 999").unwrap();
+        assert!(matches!(
+            parse_worker_out(&p),
+            Err(OutFileError::Garbled(w)) if w.contains("unrecognized")
+        ));
+        std::fs::write(&p, [0xffu8, 0xfe, 0x00]).unwrap();
+        assert!(matches!(
+            parse_worker_out(&p),
+            Err(OutFileError::Garbled(w)) if w.contains("unreadable")
+        ));
+
+        // The three legitimate shapes still parse.
+        std::fs::write(&p, format!("ok {}\n", sample_record())).unwrap();
+        assert!(matches!(parse_worker_out(&p), Ok(WorkerOut::Ok(_))));
+        std::fs::write(&p, "fail boom\n").unwrap();
+        assert!(matches!(
+            parse_worker_out(&p),
+            Ok(WorkerOut::Fail(e)) if e == "boom"
+        ));
+        std::fs::write(&p, "int\n").unwrap();
+        assert!(matches!(parse_worker_out(&p), Ok(WorkerOut::Interrupted)));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn garbled_out_files_charge_one_attempt_toward_quarantine() {
+        // The journal-side consequence of a Garbled classification: each
+        // bad result costs exactly one attempt, and the cell quarantines
+        // once the budget is spent — identical bookkeeping to a worker
+        // that reported `fail`.
+        let mut s = JournalState::fresh(0x99, 1);
+        let msg = "worker for cell 0 left a garbled result file: bad ok record".to_string();
+        assert!(
+            !s.set_fail(0, 1, 0, msg.clone(), 2),
+            "first attempt retries"
+        );
+        assert!(matches!(&s.cells[0], CellState::Fail { attempts: 1, .. }));
+        assert!(s.set_fail(0, 2, 0, msg, 2), "budget spent: quarantined");
+        assert!(matches!(&s.cells[0], CellState::Quarantined { .. }));
     }
 
     #[test]

@@ -60,6 +60,7 @@ mod ideal;
 mod inject;
 mod lbic;
 mod model;
+pub mod relations;
 mod replicated;
 mod request;
 mod stats;

@@ -88,10 +88,41 @@ pub fn inst_to_string(inst: &Inst) -> String {
     }
 }
 
-/// Renders a whole program's text section with synthetic `L<pc>` labels on
-/// every instruction, producing re-assemblable output.
+/// Renders a program's initialized data image as `.data` directives:
+/// zero runs compress to `.space`, other bytes emit as `.byte` rows. The
+/// output re-assembles to the identical image.
+fn data_section(data: &[u8]) -> String {
+    let mut out = String::from(".data\n");
+    let mut i = 0;
+    while i < data.len() {
+        let start = i;
+        if data[i] == 0 {
+            while i < data.len() && data[i] == 0 {
+                i += 1;
+            }
+            out.push_str(&format!("    .space {}\n", i - start));
+        } else {
+            while i < data.len() && data[i] != 0 && i - start < 16 {
+                i += 1;
+            }
+            let row: Vec<String> = data[start..i].iter().map(u8::to_string).collect();
+            out.push_str(&format!("    .byte {}\n", row.join(", ")));
+        }
+    }
+    out
+}
+
+/// Renders a whole program — `.data` image (when present) and `.text`
+/// with synthetic `L<pc>` labels on every instruction — producing
+/// re-assemblable output: assembling it reproduces the same instruction
+/// text, data image, and entry point. (Symbol names are not preserved;
+/// they do not affect execution.)
 pub fn program_to_string(program: &Program) -> String {
-    let mut out = String::from(".text\n");
+    let mut out = String::new();
+    if !program.data().is_empty() {
+        out.push_str(&data_section(program.data()));
+    }
+    out.push_str(".text\n");
     for (pc, inst) in program.text().iter().enumerate() {
         if program.entry() as usize == pc {
             out.push_str("main:\n");
@@ -188,5 +219,37 @@ mod tests {
         let p2 = assemble(&text).unwrap();
         assert_eq!(p1.text(), p2.text());
         assert_eq!(p2.entry(), p1.entry());
+    }
+
+    #[test]
+    fn data_image_roundtrips_through_assembler() {
+        let src = r#"
+        .data
+        v: .word 1, -1
+        s: .asciiz "hbdc"
+        pad: .space 9
+        tail: .byte 7, 0, 255
+        .text
+        main:
+            la r8, v
+            lw r1, 0(r8)
+            halt
+        "#;
+        let p1 = assemble(src).unwrap();
+        let text = program_to_string(&p1);
+        let p2 = assemble(&text).unwrap();
+        assert_eq!(p1.text(), p2.text());
+        assert_eq!(
+            p1.data(),
+            p2.data(),
+            "data image must survive the round trip"
+        );
+        assert_eq!(p1.entry(), p2.entry());
+    }
+
+    #[test]
+    fn dataless_program_renders_without_data_section() {
+        let p = assemble(".text\nmain:\n halt\n").unwrap();
+        assert!(program_to_string(&p).starts_with(".text\n"));
     }
 }

@@ -4,8 +4,9 @@
 # Asserts the supervision protocol's end-to-end contract: N cooperating
 # `--shard` processes drain one journal with every cell completed exactly
 # once; SIGKILLed workers and supervisors, SIGSTOP/SIGCONT wedges, and
-# corrupted on-disk artifacts (bit-flipped / truncated trace-cache files
-# and cell checkpoints) cost attempts and re-runs — never wrong results;
+# corrupted on-disk artifacts (bit-flipped / truncated trace-cache files,
+# cell checkpoints, and torn worker result files) cost attempts and
+# re-runs — never wrong results;
 # and the final campaign output is byte-identical to a clean
 # single-process run. Also pins the quarantine contract: cells that fail
 # every attempt quarantine (exit 3) instead of failing the campaign, and
@@ -110,6 +111,32 @@ if ! cmp -s "$tmp/ref.out" "$tmp/revived.out"; then
     exit 1
 fi
 echo "   quarantine (exit 3) and --max-attempts revival verified"
+
+echo "-- phase 3b: garbled worker result files are typed, charged, quarantined"
+gj="$tmp/garble.journal"
+status=0
+HBDC_CHAOS_GARBLE_CELLS="2" "$bin" "${common[@]}" --journal "$gj" --shard --threads 2 \
+    >"$tmp/garble.out" 2>"$tmp/garble.err" || status=$?
+if [ "$status" -ne 3 ]; then
+    echo "FAIL: garbled-result campaign exited $status, expected 3" >&2
+    cat "$tmp/garble.err" >&2
+    exit 1
+fi
+if ! grep -q 'garbled result file' "$gj"; then
+    echo "FAIL: journal does not carry the typed garbled-result error" >&2
+    cat "$gj" >&2
+    exit 1
+fi
+# Seam off, budget raised: the cell heals and the campaign matches the
+# reference bit for bit.
+"$bin" "${common[@]}" --journal "$gj" --shard --threads 2 --max-attempts 5 \
+    >"$tmp/garble-healed.out" 2>"$tmp/garble-healed.err"
+if ! cmp -s "$tmp/ref.out" "$tmp/garble-healed.out"; then
+    echo "FAIL: healed garbled campaign differs from the clean run" >&2
+    diff -u "$tmp/ref.out" "$tmp/garble-healed.out" >&2 || true
+    exit 1
+fi
+echo "   torn result files cost attempts, never wrong results; healed on rerun"
 
 echo "-- phase 4: seeded adversity (seed $SEED, $rounds rounds)"
 cj="$tmp/chaos.journal"

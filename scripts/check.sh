@@ -27,6 +27,9 @@ scripts/trace_roundtrip.sh
 echo "== multi-process supervisor chaos test (quick, seeded)"
 HBDC_CHAOS_QUICK=1 scripts/chaos_test.sh
 
+echo "== differential fuzz smoke (self-test + seeded session)"
+scripts/fuzz_smoke.sh
+
 echo "== throughput regression guard (HBDC_SKIP_PERF=1 to skip)"
 scripts/perf_guard.sh
 

@@ -19,6 +19,8 @@
 //!              [--journal PATH | --resume PATH] [--shard] [--threads N]
 //!              [--max-attempts N] [--lease-ttl-secs N] [--timeout-secs N]
 //!              [--trace-mode execute|replay] [--trace-cache DIR]
+//! hbdc-sim fuzz [--seed N] [--budget N] [--corpus DIR] [--matrix-every N]
+//!              [--small] [--keep-going] [--selftest]
 //! ```
 //!
 //! `trace capture` runs the functional model once and seals the committed
@@ -65,7 +67,9 @@ fn usage() -> ExitCode {
          hbdc-sim bench-list\n  \
          hbdc-sim campaign table3|table4 [--scale ...] [--bench NAME] [--csv]\n\
          \x20          [--journal PATH | --resume PATH] [--shard] [--threads N]\n\
-         \x20          [--max-attempts N] [--lease-ttl-secs N] [--timeout-secs N]\n\n\
+         \x20          [--max-attempts N] [--lease-ttl-secs N] [--timeout-secs N]\n  \
+         hbdc-sim fuzz [--seed N] [--budget N] [--corpus DIR] [--matrix-every N]\n\
+         \x20          [--small] [--keep-going] [--selftest]\n\n\
          port SPEC: ideal:P | repl:P | bank:M[:xor|:rand] | lbic:MxN[:sq=K][:largest]"
     );
     ExitCode::from(2)
@@ -522,6 +526,94 @@ fn cmd_campaign(args: &[String]) -> Result<ExitCode, String> {
     Ok(run.exit_code())
 }
 
+/// Runs the differential fuzzer: `--budget` generated programs, each
+/// checked against the metamorphic and mode-pair relation catalog, with
+/// violations shrunk to minimal repros under `--corpus`. With
+/// `--selftest`, instead injects a known port-model fault and requires
+/// the detect → shrink → artifact pipeline to catch it. Exit code: 0
+/// clean, 1 violations found (or self-test failed), 2 usage error, 130
+/// interrupted (partial results reported; same seed re-runs the session).
+fn cmd_fuzz(args: &[String]) -> Result<ExitCode, String> {
+    let seed = parse_num(args, "--seed", 1)?;
+    let corpus =
+        PathBuf::from(flag_value(args, "--corpus").unwrap_or_else(|| "fuzz-corpus".into()));
+
+    if args.iter().any(|a| a == "--selftest") {
+        let report = hbdc::fuzz::selftest::run_selftest(seed, Some(&corpus)).map_err(|e| {
+            eprintln!("fuzz self-test FAILED: {e}");
+            e
+        });
+        return match report {
+            Ok(r) => {
+                println!(
+                    "fuzz self-test passed: injected fault detected on seed {}, \
+                     shrunk {} -> {} live instructions, artifact at {}",
+                    r.seed,
+                    r.original_insts,
+                    r.shrunk_insts,
+                    r.artifact.as_deref().unwrap_or(Path::new("-")).display()
+                );
+                Ok(ExitCode::SUCCESS)
+            }
+            Err(_) => Ok(ExitCode::FAILURE),
+        };
+    }
+
+    let opts = hbdc::fuzz::FuzzOptions {
+        seed,
+        budget: parse_num(args, "--budget", 500)?,
+        corpus,
+        matrix_every: parse_num(args, "--matrix-every", 32)?,
+        gen: if args.iter().any(|a| a == "--small") {
+            hbdc::fuzz::gen::GenConfig::small()
+        } else {
+            hbdc::fuzz::gen::GenConfig::default()
+        },
+        keep_going: args.iter().any(|a| a == "--keep-going"),
+    };
+    hbdc::snap::interrupt::install();
+    let budget = opts.budget;
+    let summary = hbdc::fuzz::run_fuzz(&opts, |done, relations| {
+        if done % 50 == 0 || done == budget {
+            eprintln!("fuzz: {done}/{budget} programs, {relations} relation checks");
+        }
+    });
+    println!(
+        "fuzz seed {}: {} programs checked, {} relation evaluations, {} violation{}",
+        opts.seed,
+        summary.checked_programs,
+        summary.relations_checked,
+        summary.violations.len(),
+        if summary.violations.len() == 1 {
+            ""
+        } else {
+            "s"
+        },
+    );
+    for v in &summary.violations {
+        println!(
+            "  case {} (program seed {}): {} [shrunk to {} insts] {}",
+            v.case,
+            v.program_seed,
+            v.violation,
+            v.shrunk_insts,
+            v.artifact
+                .as_deref()
+                .map(|p| format!("-> {}", p.display()))
+                .unwrap_or_default(),
+        );
+    }
+    if summary.interrupted {
+        println!("interrupted; re-run with the same seed to repeat the session");
+        return Ok(ExitCode::from(130));
+    }
+    Ok(if summary.violations.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
 fn cmd_bench_list() -> Result<(), String> {
     println!(
         "{:10} {:5} {:>8} {:>10} {:>9}",
@@ -561,6 +653,17 @@ fn main() -> ExitCode {
         // `campaign` owns its exit code (the matrix contract: 0/1/3/130).
         "campaign" => {
             return match cmd_campaign(rest) {
+                Ok(code) => code,
+                Err(e) => {
+                    eprintln!("hbdc-sim: {e}");
+                    ExitCode::from(2)
+                }
+            }
+        }
+        // `fuzz` owns its exit code too: 0 clean, 1 violations, 130
+        // interrupted.
+        "fuzz" => {
+            return match cmd_fuzz(rest) {
                 Ok(code) => code,
                 Err(e) => {
                     eprintln!("hbdc-sim: {e}");

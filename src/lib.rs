@@ -46,12 +46,14 @@
 //! | [`workloads`] | `hbdc-workloads` | the ten SPEC95 benchmark analogs |
 //! | [`stats`] | `hbdc-stats` | counters, histograms, tables |
 //! | [`snap`] | `hbdc-snap` | checkpoint codec, sealed containers, SIGINT latch |
+//! | [`fuzz`] | `hbdc-fuzz` | differential fuzzing: generator, metamorphic oracle, shrinker |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use hbdc_core as core;
 pub use hbdc_cpu as cpu;
+pub use hbdc_fuzz as fuzz;
 pub use hbdc_isa as isa;
 pub use hbdc_mem as mem;
 pub use hbdc_snap as snap;

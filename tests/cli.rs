@@ -86,6 +86,105 @@ fn asm_disasm_roundtrip_through_object_file() {
     std::fs::remove_file(&obj).ok();
 }
 
+fn hbdc_sim_code(args: &[&str]) -> (String, String, i32) {
+    let out = Command::new(env!("CARGO_BIN_EXE_hbdc-sim"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.code().unwrap_or(-1),
+    )
+}
+
+#[test]
+fn fuzz_short_session_is_clean() {
+    let corpus = std::env::temp_dir().join(format!("hbdc-cli-fuzz-{}", std::process::id()));
+    let (out, err, code) = hbdc_sim_code(&[
+        "fuzz",
+        "--seed",
+        "3",
+        "--budget",
+        "5",
+        "--small",
+        "--matrix-every",
+        "0",
+        "--corpus",
+        corpus.to_str().unwrap(),
+    ]);
+    assert_eq!(code, 0, "stdout:\n{out}\nstderr:\n{err}");
+    assert!(out.contains("5 programs checked"), "{out}");
+    assert!(out.contains("0 violations"), "{out}");
+    std::fs::remove_dir_all(&corpus).ok();
+}
+
+#[test]
+fn fuzz_selftest_catches_the_injected_fault() {
+    let corpus = std::env::temp_dir().join(format!("hbdc-cli-self-{}", std::process::id()));
+    let (out, err, code) =
+        hbdc_sim_code(&["fuzz", "--selftest", "--corpus", corpus.to_str().unwrap()]);
+    assert_eq!(code, 0, "stdout:\n{out}\nstderr:\n{err}");
+    assert!(out.contains("self-test passed"), "{out}");
+    std::fs::remove_dir_all(&corpus).ok();
+}
+
+#[test]
+fn fuzz_rejects_malformed_budget() {
+    let (_, err, code) = hbdc_sim_code(&["fuzz", "--budget", "lots"]);
+    assert_eq!(code, 2);
+    assert!(err.contains("--budget expects a number"), "{err}");
+}
+
+#[test]
+fn shard_composes_with_threads() {
+    // Pinned semantics: `--shard --threads N` is valid — N caps this
+    // supervisor's concurrent worker subprocesses (scripts/chaos_test.sh
+    // relies on the combination). The single li x table4 campaign must
+    // complete cleanly under a 2-subprocess cap.
+    let dir = std::env::temp_dir().join(format!("hbdc-cli-shard-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let journal = dir.join("t4.journal");
+    let (out, err, code) = hbdc_sim_code(&[
+        "campaign",
+        "table4",
+        "--scale",
+        "test",
+        "--bench",
+        "li",
+        "--journal",
+        journal.to_str().unwrap(),
+        "--shard",
+        "--threads",
+        "2",
+    ]);
+    assert_eq!(code, 0, "stdout:\n{out}\nstderr:\n{err}");
+    assert!(out.contains("Campaign table4"), "{out}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn threads_rejects_zero_with_or_without_shard() {
+    for extra in [&["--shard"][..], &[][..]] {
+        let mut args = vec![
+            "campaign",
+            "table4",
+            "--scale",
+            "test",
+            "--bench",
+            "li",
+            "--journal",
+            "/tmp/hbdc-cli-z.journal",
+            "--threads",
+            "0",
+        ];
+        args.extend_from_slice(extra);
+        let (_, err, code) = hbdc_sim_code(&args);
+        assert_eq!(code, 2, "{err}");
+        assert!(err.contains("--threads needs a positive integer"), "{err}");
+    }
+}
+
 #[test]
 fn analyze_prints_locality_breakdown() {
     let (out, _, ok) = hbdc_sim(&["analyze", "bench:swim", "--banks", "4"]);

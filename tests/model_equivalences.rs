@@ -1,5 +1,8 @@
 //! Cross-model equivalences and monotonicity properties that must hold by
-//! construction (DESIGN.md §7).
+//! construction (DESIGN.md §7). The deterministic anchors at the bottom
+//! pin the same relations the differential fuzzer (`hbdc-fuzz`, DESIGN.md
+//! §13) checks on random programs, so a relation regression fails here
+//! with a fixed, debuggable kernel before the fuzzer ever runs.
 
 use hbdc::prelude::*;
 
@@ -154,4 +157,149 @@ fn true_multiporting_dominates_practical_models() {
         assert!(ideal + 1e-9 >= repl, "{ports} ports: repl beat ideal");
         assert!(ideal + 1e-9 >= bank, "{ports} ports: bank beat ideal");
     }
+}
+
+/// A report record with the trailing port label stripped: the comparison
+/// key for "bit-identical up to the model's name".
+fn record_sans_label(r: &SimReport) -> String {
+    let rec = r.to_record();
+    rec.rsplit_once('\t')
+        .map_or(rec.clone(), |(head, _)| head.to_string())
+}
+
+#[test]
+fn replicated_is_bit_identical_to_ideal_on_load_only_traffic() {
+    // Fuzzer anchor (relation `replicated-load-only`): with no stores,
+    // replication's broadcast machinery never engages, so a replicated
+    // cache is *definitionally* ideal — the whole report must match, not
+    // just the cycle count.
+    let p = assemble(
+        r#"
+        .data
+        a: .space 8192
+        .text
+        main:
+            la   r8, a
+            li   r15, 300
+        loop:
+            lw   r1, 0(r8)
+            lw   r2, 8(r8)
+            lw   r3, 128(r8)
+            fld  f1, 256(r8)
+            add  r4, r1, r2
+            addi r8, r8, 16
+            andi r10, r15, 255
+            bnez r10, nw
+            la   r8, a
+        nw:
+            addi r15, r15, -1
+            bnez r15, loop
+            halt
+        "#,
+    )
+    .expect("load-only kernel assembles");
+    for ports in [1usize, 2, 4] {
+        let ideal = run(&p, PortConfig::Ideal { ports });
+        let repl = run(&p, PortConfig::Replicated { ports });
+        assert_eq!(ideal.stores, 0, "kernel must be store-free");
+        assert_eq!(
+            record_sans_label(&ideal),
+            record_sans_label(&repl),
+            "{ports} ports: replicated diverged from ideal on load-only traffic"
+        );
+    }
+}
+
+/// A kernel whose loads all collide in one bank at 4-bank line
+/// interleaving (stride = line x banks = 128), so every added port or
+/// bank visibly moves the bottleneck.
+fn conflict_kernel() -> Program {
+    assemble(
+        r#"
+        .data
+        a: .space 16384
+        .text
+        main:
+            la   r8, a
+            li   r15, 300
+        loop:
+            lw   r1, 0(r8)
+            lw   r2, 128(r8)
+            lw   r3, 256(r8)
+            lw   r4, 384(r8)
+            add  r5, r1, r2
+            add  r6, r3, r4
+            sw   r5, 512(r8)
+            addi r8, r8, 8
+            andi r10, r15, 127
+            bnez r10, nw
+            la   r8, a
+        nw:
+            addi r15, r15, -1
+            bnez r15, loop
+            halt
+        "#,
+    )
+    .expect("conflict kernel assembles")
+}
+
+#[test]
+fn port_monotonicity_on_conflict_heavy_micro() {
+    // Fuzzer anchor (relation `port-monotonicity`): on this fixed kernel
+    // the orderings hold *exactly* — more ideal ports never cost cycles,
+    // and more banks never cost cycles when the traffic is one hot bank.
+    let p = conflict_kernel();
+    let mut last = u64::MAX;
+    for ports in [1usize, 2, 4, 8] {
+        let cycles = run(&p, PortConfig::Ideal { ports }).cycles;
+        assert!(
+            cycles <= last,
+            "ideal:{ports} regressed: {cycles} > {last} cycles"
+        );
+        last = cycles;
+    }
+    let mut last = u64::MAX;
+    for banks in [1u32, 2, 4] {
+        let cycles = run(&p, PortConfig::banked(banks)).cycles;
+        assert!(
+            cycles <= last,
+            "bank:{banks} regressed: {cycles} > {last} cycles"
+        );
+        last = cycles;
+    }
+}
+
+#[test]
+fn dominance_predicates_match_measured_cycles() {
+    // Fuzzer anchor (relations `ideal-upper-bound` / `must_dominate`):
+    // every ordering the core predicates claim must hold on this
+    // conflict-heavy kernel within the anomaly allowance, tying the
+    // predicate catalog in `hbdc::core::relations` to measured behavior.
+    use hbdc::core::relations::{anomaly_allowance, must_dominate};
+    let p = conflict_kernel();
+    let roster = [
+        PortConfig::Ideal { ports: 1 },
+        PortConfig::Ideal { ports: 4 },
+        PortConfig::Replicated { ports: 4 },
+        PortConfig::banked(4),
+        PortConfig::lbic(4, 1),
+        PortConfig::lbic(4, 2),
+    ];
+    let cycles: Vec<u64> = roster.iter().map(|c| run(&p, *c).cycles).collect();
+    let mut claimed = 0;
+    for (i, a) in roster.iter().enumerate() {
+        for (j, b) in roster.iter().enumerate() {
+            if i == j || !must_dominate(a, b) {
+                continue;
+            }
+            claimed += 1;
+            assert!(
+                cycles[i] <= cycles[j] + anomaly_allowance(cycles[j]),
+                "{a:?} claimed to dominate {b:?} but took {} vs {} cycles",
+                cycles[i],
+                cycles[j]
+            );
+        }
+    }
+    assert!(claimed >= 3, "dominance catalog unexpectedly sparse");
 }
